@@ -1,0 +1,29 @@
+"""Shared helpers for the per-figure benchmarks.
+
+Every benchmark regenerates one of the paper's evaluation artifacts,
+prints the rows it produced, and also writes them to
+``benchmarks/results/<name>.txt`` so the tables survive pytest's output
+capture.
+"""
+
+import os
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Benchmark scale preset; override with REPRO_BENCH_SCALE=smoke|default|full
+#: (see repro.bench.SCALES and the scale note in EXPERIMENTS.md).
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "default")
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    banner = f"\n=== {name} ===\n{text}\n"
+    print(banner)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def once(benchmark, fn):
+    """Run *fn* exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

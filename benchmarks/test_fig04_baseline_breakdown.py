@@ -1,0 +1,24 @@
+"""Figure 4: MINOS-B write latency split into communication/computation.
+
+Paper shape: communication dominates (51-73 % of write latency) and
+varies little across models; conservative persistency models pay more
+computation (the in-critical-path persist).
+"""
+
+from conftest import SCALE, emit, once
+
+from repro.bench import fig4, format_table
+
+
+def test_fig04_breakdown(benchmark):
+    rows = once(benchmark, lambda: fig4(SCALE))
+    emit("fig04_baseline_breakdown", format_table(rows))
+    by_model = {r["model"]: r for r in rows}
+    # Communication is the dominant contributor for every model.
+    for row in rows:
+        assert row["comm_frac"] > 0.5, row
+    # Conservative persistency => more computation time.
+    assert (by_model["<Lin, Synch>"]["comp_us"] >
+            by_model["<Lin, Event>"]["comp_us"])
+    assert (by_model["<Lin, Strict>"]["comp_us"] >
+            by_model["<Lin, REnf>"]["comp_us"])

@@ -1,0 +1,36 @@
+"""Figure 9: normalized latency and throughput of writes and reads for
+MINOS-B vs MINOS-O across write/read mixes and all five models.
+
+Paper shape: MINOS-O improves write and read latency and throughput by
+roughly 2-3x; O's throughput grows with the write fraction while its
+latency barely changes.
+"""
+
+from conftest import SCALE, emit, once
+
+from repro.bench import fig9, format_table
+
+
+def test_fig09_latency_throughput(benchmark):
+    data = once(benchmark, lambda: fig9(SCALE))
+    emit("fig09_writes", format_table(data["writes"]))
+    emit("fig09_reads", format_table(data["reads"]))
+
+    def pick(rows, arch, model, mix_key, mix):
+        return next(r for r in rows if r["arch"] == arch and
+                    r["model"] == model and r[mix_key] == mix)
+
+    for model in ("<Lin, Synch>", "<Lin, Strict>", "<Lin, REnf>",
+                  "<Lin, Event>", "<Lin, Scope>"):
+        for mix in (20, 50, 80, 100):
+            b = pick(data["writes"], "MINOS-B", model, "write%", mix)
+            o = pick(data["writes"], "MINOS-O", model, "write%", mix)
+            # O wins on both metrics, with a clear margin.
+            assert o["norm_latency"] < b["norm_latency"] * 0.75, (model, mix)
+            assert o["norm_throughput"] > b["norm_throughput"] * 1.25, \
+                (model, mix)
+    # O's throughput grows with the write fraction.
+    synch_o = [r for r in data["writes"]
+               if r["arch"] == "MINOS-O" and r["model"] == "<Lin, Synch>"]
+    synch_o.sort(key=lambda r: r["write%"])
+    assert synch_o[-1]["norm_throughput"] > synch_o[0]["norm_throughput"]

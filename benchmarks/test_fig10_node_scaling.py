@@ -1,0 +1,32 @@
+"""Figure 10: latency and throughput vs node count (2-10 nodes).
+
+Paper shape: as nodes increase, MINOS-O rapidly increases throughput
+with modest write-latency growth; MINOS-B's latency grows quickly and
+throughput improves little.
+"""
+
+from conftest import SCALE, emit, once
+
+from repro.bench import fig10, format_table
+
+
+def test_fig10_node_scaling(benchmark):
+    data = once(benchmark, lambda: fig10(SCALE))
+    emit("fig10_writes", format_table(data["writes"]))
+    emit("fig10_reads", format_table(data["reads"]))
+
+    def series(rows, arch, model="<Lin, Synch>"):
+        out = [r for r in rows if r["arch"] == arch and r["model"] == model]
+        return sorted(out, key=lambda r: r["nodes"])
+
+    b = series(data["writes"], "MINOS-B")
+    o = series(data["writes"], "MINOS-O")
+    for rb, ro in zip(b, o):
+        if rb["nodes"] == 2:
+            continue
+        assert ro["norm_latency"] < rb["norm_latency"], rb["nodes"]
+    # B's latency grows much faster from 2 to 10 nodes than O's.
+    assert (b[-1]["norm_latency"] / b[0]["norm_latency"] >
+            o[-1]["norm_latency"] / o[0]["norm_latency"])
+    # O's throughput at 10 nodes clearly exceeds B's.
+    assert o[-1]["norm_throughput"] > b[-1]["norm_throughput"] * 1.3

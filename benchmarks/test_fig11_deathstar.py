@@ -1,0 +1,29 @@
+"""Figure 11: end-to-end latency of DeathStar Login functions (Social
+Network and Media Microservices) on a 16-node cluster.
+
+Paper shape: MINOS-O reduces end-to-end latency across the board, by
+35 % on average.
+"""
+
+from conftest import SCALE, emit, once
+
+from repro.bench import fig11, format_table
+
+
+def test_fig11_deathstar(benchmark):
+    rows = once(benchmark, lambda: fig11(SCALE))
+    emit("fig11_deathstar", format_table(rows))
+    reductions = []
+    for model in {r["model"] for r in rows}:
+        for app in ("social", "media"):
+            b = next(r for r in rows if r["model"] == model and
+                     r["application"] == app and r["arch"] == "MINOS-B")
+            o = next(r for r in rows if r["model"] == model and
+                     r["application"] == app and r["arch"] == "MINOS-O")
+            assert o["latency_us"] < b["latency_us"], (model, app)
+            reductions.append(1 - o["latency_us"] / b["latency_us"])
+    average = sum(reductions) / len(reductions)
+    emit("fig11_summary",
+         f"average end-to-end latency reduction: {average:.1%} "
+         f"(paper: 35%)")
+    assert average > 0.15

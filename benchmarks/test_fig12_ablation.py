@@ -1,0 +1,29 @@
+"""Figure 12: impact of the individual MINOS-O optimizations.
+
+Paper shape: broadcast or batching alone have no noticeable effect on
+MINOS-B; Combined (offload + coherence + WRLock elimination) cuts write
+latency by 43.3 %; Combined+broadcast barely differs from Combined;
+Combined+batching is *slower* than Combined (batch unpack overhead);
+full MINOS-O reduces write latency by 50.7 %.
+"""
+
+from conftest import SCALE, emit, once
+
+from repro.bench import fig12, format_table
+
+
+def test_fig12_ablation(benchmark):
+    rows = once(benchmark, lambda: fig12(SCALE))
+    emit("fig12_ablation", format_table(rows))
+    norm = {r["arch"]: r["normalized"] for r in rows}
+    # Broadcast alone: no effect (nothing dest-mapped to broadcast).
+    assert abs(norm["MINOS-B+broadcast"] - 1.0) < 0.02
+    # Batching alone: no noticeable effect.
+    assert abs(norm["MINOS-B+batching"] - 1.0) < 0.12
+    # Combined is very effective.
+    assert norm["Combined"] < 0.85
+    # Combined+broadcast barely differs from Combined.
+    assert abs(norm["Combined+broadcast"] - norm["Combined"]) < 0.05
+    # Full MINOS-O is the best configuration.
+    assert norm["MINOS-O"] == min(norm.values())
+    assert norm["MINOS-O"] < 0.60

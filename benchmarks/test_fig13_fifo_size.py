@@ -1,0 +1,20 @@
+"""Figure 13: MINOS-O sensitivity to the vFIFO/dFIFO size.
+
+Paper shape: with 3-5 entries one attains the same average write latency
+as with an unlimited number of entries.
+"""
+
+from conftest import SCALE, emit, once
+
+from repro.bench import fig13, format_table
+
+
+def test_fig13_fifo_size(benchmark):
+    rows = once(benchmark, lambda: fig13(SCALE))
+    emit("fig13_fifo_size", format_table(rows))
+    norm = {r["fifo_entries"]: r["normalized"] for r in rows}
+    # 3-5 entries match unlimited (within 3%).
+    for entries in (3, 4, 5, 100):
+        assert norm[entries] < 1.03, entries
+    # Tiny FIFOs are never better than unlimited.
+    assert norm[1] >= norm[5] - 1e-9

@@ -1,0 +1,24 @@
+"""Figure 14: MINOS-O speedup over MINOS-B vs persist latency, key
+distribution, and database size.
+
+Paper shape: speedups increase with the persist latency (average 2.2x);
+the speedup is ~2x for both zipfian and uniform keys and across database
+sizes.
+"""
+
+from conftest import SCALE, emit, once
+
+from repro.bench import fig14, format_table
+
+
+def test_fig14_sensitivity(benchmark):
+    rows = once(benchmark, lambda: fig14(SCALE))
+    emit("fig14_sensitivity", format_table(rows))
+    persist = [r for r in rows if r["knob"] == "persist_latency"]
+    # Speedup grows with the persist latency.
+    values = [r["speedup"] for r in persist]
+    assert values == sorted(values), values
+    assert values[-1] > values[0] * 1.5
+    # O wins under every knob setting.
+    for row in rows:
+        assert row["speedup"] > 1.2, row

@@ -1,0 +1,19 @@
+"""Table I: model-check all <consistency, persistency> models for both
+MINOS-B and MINOS-O.
+
+Paper result: every model passes the concurrency, consistency,
+persistency, and type checks.
+"""
+
+from conftest import emit, once
+
+from repro.bench import format_table, tab1
+
+
+def test_tab01_verification(benchmark):
+    rows = once(benchmark, lambda: tab1(nodes=2))
+    emit("tab01_verification", format_table(rows))
+    assert len(rows) == 10
+    for row in rows:
+        assert row["result"] == "PASS", row
+        assert row["states"] > 100

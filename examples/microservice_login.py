@@ -1,0 +1,36 @@
+"""DeathStar-style microservice Login functions on MINOS (paper §VIII-C).
+
+Runs the Login function of the UserService microservice from the Social
+Network and Media Microservices applications on a 16-node cluster, with
+a 500 us client<->service round trip, and reports end-to-end latency for
+MINOS-B vs MINOS-O.
+
+Run:  python examples/microservice_login.py
+"""
+
+from repro import LIN_SYNCH, MEDIA_LOGIN, MINOS_B, MINOS_O, SOCIAL_LOGIN
+from repro.bench import run_microservice
+
+
+def main() -> None:
+    print(f"{'application':12s} {'arch':8s} {'end-to-end (us)':>16s}")
+    print("-" * 40)
+    reductions = []
+    for function in (SOCIAL_LOGIN, MEDIA_LOGIN):
+        latencies = {}
+        for config in (MINOS_B, MINOS_O):
+            summary = run_microservice(function, LIN_SYNCH, config,
+                                       nodes=16, invocations_per_node=3,
+                                       clients_per_node=5)
+            latencies[config.name] = summary.mean
+            print(f"{function.application:12s} {config.name:8s} "
+                  f"{summary.mean * 1e6:16.1f}")
+        reduction = 1 - latencies["MINOS-O"] / latencies["MINOS-B"]
+        reductions.append(reduction)
+        print(f"{'':12s} {'':8s} MINOS-O reduction: {reduction:.1%}\n")
+    print(f"average reduction: {sum(reductions) / len(reductions):.1%} "
+          f"(paper reports 35% across models)")
+
+
+if __name__ == "__main__":
+    main()

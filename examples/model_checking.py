@@ -1,0 +1,47 @@
+"""Protocol verification with the explicit-state model checker (§VI).
+
+Model-checks the MINOS-B and MINOS-O protocols for every
+⟨consistency, persistency⟩ model against the Table I conditions, then
+demonstrates that the checker actually finds bugs by checking a broken
+invariant and printing the counterexample trace.
+
+Run:  python examples/model_checking.py
+"""
+
+from repro import ALL_MODELS, LIN_SYNCH
+from repro.verify import ModelChecker, ProtocolSpec, WriteDef
+
+
+def main() -> None:
+    print("Table I verification (2 nodes, 2 concurrent writes, 1 key)")
+    print(f"{'arch':8s} {'model':14s} {'states':>8s} {'result':>7s}")
+    print("-" * 42)
+    for offload in (False, True):
+        for model in ALL_MODELS:
+            spec = ProtocolSpec(model=model, nodes=2,
+                                writes=(WriteDef(0), WriteDef(1)),
+                                offload=offload)
+            result = ModelChecker(spec).check()
+            arch = "MINOS-O" if offload else "MINOS-B"
+            verdict = "PASS" if result.ok else "FAIL"
+            print(f"{arch:8s} {model.name:14s} {result.states:8d} "
+                  f"{verdict:>7s}")
+
+    print("\nNegative control: inject a bogus invariant "
+          "('no node ever holds an RDLock') and show the trace:")
+    spec = ProtocolSpec(model=LIN_SYNCH, nodes=2, writes=(WriteDef(0),))
+
+    def never_locked(state):
+        records, *_ = state
+        return all(rec[3] == (-1, -1) for node in records for rec in node)
+
+    spec.invariants = [("bogus: never locked", never_locked)]
+    result = ModelChecker(spec).check()
+    assert not result.ok
+    violation = result.violations[0]
+    print(f"  violated: {violation.name}")
+    print(f"  counterexample: {' -> '.join(violation.trace)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""YCSB workload comparison: MINOS-B vs MINOS-O across all DDP models.
+
+Reproduces a slice of the paper's Figure 9: a 50/50 read/write zipfian
+workload on 5 nodes, reporting write/read latency and throughput for
+every ⟨consistency, persistency⟩ model on both architectures.
+
+Run:  python examples/ycsb_comparison.py [--requests N]
+"""
+
+import argparse
+
+from repro import ALL_MODELS, MINOS_B, MINOS_O, MinosCluster, YcsbWorkload
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--requests", type=int, default=60,
+                        help="requests per client (paper: 100000/node)")
+    parser.add_argument("--records", type=int, default=200,
+                        help="database records (paper: 100000)")
+    parser.add_argument("--write-fraction", type=float, default=0.5)
+    args = parser.parse_args()
+
+    header = (f"{'arch':8s} {'model':14s} {'wlat(us)':>9s} {'rlat(us)':>9s} "
+              f"{'wtput(kops)':>12s} {'rtput(kops)':>12s}")
+    print(header)
+    print("-" * len(header))
+    for config in (MINOS_B, MINOS_O):
+        for model in ALL_MODELS:
+            cluster = MinosCluster(model=model, config=config)
+            workload = YcsbWorkload(records=args.records,
+                                    requests_per_client=args.requests,
+                                    write_fraction=args.write_fraction)
+            metrics = cluster.run_workload(workload, clients_per_node=3)
+            w = metrics.write_latency.summary()
+            r = metrics.read_latency.summary()
+            print(f"{config.name:8s} {model.name:14s} "
+                  f"{w.mean * 1e6:9.2f} {r.mean * 1e6:9.2f} "
+                  f"{metrics.write_throughput() / 1e3:12.1f} "
+                  f"{metrics.read_throughput() / 1e3:12.1f}")
+
+
+if __name__ == "__main__":
+    main()

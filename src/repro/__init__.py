@@ -1,0 +1,78 @@
+"""MINOS reproduction: DDP protocols with SmartNIC offload, simulated.
+
+Reproduces "MINOS: Distributed Consistency and Persistency Protocol
+Implementation & Offloading to SmartNICs" (HPCA 2024): the MINOS-Baseline
+and MINOS-Offload algorithms for Linearizable consistency combined with
+five persistency models, on a calibrated discrete-event simulator.
+
+Quick start::
+
+    from repro import MinosCluster, MINOS_O, LIN_SYNCH, YcsbWorkload
+
+    cluster = MinosCluster(model=LIN_SYNCH, config=MINOS_O)
+    metrics = cluster.run_workload(
+        YcsbWorkload(records=500, requests_per_client=100))
+    print(metrics.write_latency.summary())
+"""
+
+from repro.cluster import ClosedLoopClient, MinosCluster, Node
+from repro.core import (ABLATION_CONFIGS, ALL_MODELS, B_BATCHING,
+                        B_BROADCAST, COMBINED, COMBINED_BATCHING,
+                        COMBINED_BROADCAST, EC_EVENT, EC_SYNCH,
+                        EXTENSION_MODELS, LIN_EVENT, LIN_RENF, LIN_SCOPE,
+                        LIN_STRICT, LIN_SYNCH, MINOS_B, MINOS_O, Consistency,
+                        DDPModel, Persistency, ProtocolConfig, Timestamp,
+                        config_by_name, model_by_name)
+from repro.hw import DEFAULT_MACHINE, MachineParams
+from repro.metrics import Breakdown, Metrics, write_breakdown
+from repro.trace import TraceEvent, Tracer
+from repro.workloads import (MEDIA_LOGIN, SOCIAL_LOGIN, Op, OpKind,
+                             YcsbWorkload)
+from repro.workloads.trace import TraceWorkload, parse_trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ABLATION_CONFIGS",
+    "ALL_MODELS",
+    "B_BATCHING",
+    "B_BROADCAST",
+    "Breakdown",
+    "COMBINED",
+    "COMBINED_BATCHING",
+    "COMBINED_BROADCAST",
+    "ClosedLoopClient",
+    "Consistency",
+    "DDPModel",
+    "DEFAULT_MACHINE",
+    "EC_EVENT",
+    "EC_SYNCH",
+    "EXTENSION_MODELS",
+    "LIN_EVENT",
+    "LIN_RENF",
+    "LIN_SCOPE",
+    "LIN_STRICT",
+    "LIN_SYNCH",
+    "MEDIA_LOGIN",
+    "MINOS_B",
+    "MINOS_O",
+    "MachineParams",
+    "Metrics",
+    "MinosCluster",
+    "Node",
+    "Op",
+    "OpKind",
+    "Persistency",
+    "ProtocolConfig",
+    "SOCIAL_LOGIN",
+    "Timestamp",
+    "TraceEvent",
+    "TraceWorkload",
+    "Tracer",
+    "YcsbWorkload",
+    "parse_trace",
+    "config_by_name",
+    "model_by_name",
+    "write_breakdown",
+    "__version__",
+]

@@ -1,0 +1,32 @@
+"""Benchmark harness and the paper's per-figure experiments."""
+
+from repro.bench.figures import (SCALES, fig4, fig9, fig10, fig11, fig12,
+                                 fig13, fig14, tab1)
+from repro.bench.harness import (ExperimentConfig, ExperimentResult,
+                                 format_table, run_experiment,
+                                 run_microservice)
+from repro.bench.analytic import (LatencyEstimate, baseline_synch_write,
+                                  offload_synch_write)
+from repro.bench.sweep import Sweep, parse_axis
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "LatencyEstimate",
+    "SCALES",
+    "baseline_synch_write",
+    "offload_synch_write",
+    "Sweep",
+    "parse_axis",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig4",
+    "fig9",
+    "format_table",
+    "run_experiment",
+    "run_microservice",
+    "tab1",
+]

@@ -1,0 +1,112 @@
+"""Closed-form latency model for calibration cross-checks (paper §VII).
+
+The paper validates its simulator by checking that "MINOS-B performs
+similarly in both the real and the simulated machine".  We do the
+analogous check in reverse: this module predicts the *uncontended*
+⟨Lin, Synch⟩ write latency of both architectures directly from the
+machine parameters (no simulation), and the calibration tests assert the
+simulator agrees within a small tolerance.  If someone perturbs the
+engines or the hardware models, the cross-check catches silent drift.
+
+The formulas mirror the critical path of one write with ``n-1``
+followers; every term cites its origin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.params import MachineParams
+
+
+@dataclass(frozen=True)
+class LatencyEstimate:
+    """A predicted write latency with its component terms."""
+
+    total: float
+    terms: tuple
+
+    @property
+    def total_us(self) -> float:
+        return self.total * 1e6
+
+    def __str__(self) -> str:
+        parts = ", ".join(f"{name}={value * 1e9:.0f}ns"
+                          for name, value in self.terms)
+        return f"{self.total_us:.2f}us ({parts})"
+
+
+def _pcie_transfer(params: MachineParams, size: int) -> float:
+    return size / params.pcie.bandwidth + params.pcie.latency
+
+
+def _net_serialize(params: MachineParams, size: int) -> float:
+    return size / params.network.bandwidth
+
+
+def baseline_synch_write(params: MachineParams) -> LatencyEstimate:
+    """Uncontended MINOS-B ⟨Lin, Synch⟩ write latency on ``params.nodes``.
+
+    Critical path: coordinator prologue → INV fan-out to the *last*
+    follower → follower handling (incl. the critical-path persist) → ACK
+    return → coordinator epilogue (unlock + VAL marshalling).
+    """
+    host, nic = params.host, params.nic
+    followers = params.nodes - 1
+    record, control = params.record_size, params.control_size
+
+    prologue = (host.request_overhead + 2 * host.sync_latency +
+                followers * host.msg_send_cost)
+    # INVs cross PCIe back to back; the NIC then serializes them onto the
+    # network one at a time (§IV's bottleneck).  The last INV leaves after
+    # the whole NIC chain; chains overlap, the NIC chain dominates.
+    pcie_first = _pcie_transfer(params, record)
+    nic_chain = followers * (nic.send_inv_cost +
+                             _net_serialize(params, record) +
+                             nic.inter_message_gap)
+    last_inv_arrival = (prologue + pcie_first + nic_chain +
+                        params.network.latency + nic.recv_cost +
+                        _pcie_transfer(params, record))
+    handling = (host.msg_handler_cost + 2 * host.sync_latency +
+                params.llc_time(record) + params.nvm_persist_time(record) +
+                host.msg_send_cost)
+    ack_return = (_pcie_transfer(params, control) + nic.send_ack_cost +
+                  _net_serialize(params, control) + params.network.latency +
+                  nic.recv_cost + _pcie_transfer(params, control) +
+                  host.msg_handler_cost)
+    epilogue = host.sync_latency + followers * host.msg_send_cost
+    terms = (("prologue", prologue),
+             ("inv_fanout", last_inv_arrival - prologue),
+             ("follower", handling),
+             ("ack_return", ack_return),
+             ("epilogue", epilogue))
+    return LatencyEstimate(sum(t for _n, t in terms), terms)
+
+
+def offload_synch_write(params: MachineParams) -> LatencyEstimate:
+    """Uncontended MINOS-O ⟨Lin, Synch⟩ write latency.
+
+    Critical path: host prologue (coherent metadata) → one batched INV
+    over PCIe → SNIC broadcast → follower SNIC (vFIFO + dFIFO enqueues)
+    → ACK back → SNIC aggregation → batched ACK over PCIe → host handler.
+    """
+    host, snic, nic = params.host, params.snic, params.nic
+    record, control = params.record_size, params.control_size
+
+    prologue = (host.request_overhead + 2 * snic.coherence_access +
+                host.msg_send_cost)
+    inv_out = (_pcie_transfer(params, record) + snic.msg_handler_cost +
+               snic.broadcast_setup + nic.send_inv_cost +
+               _net_serialize(params, record) + params.network.latency)
+    follower = (snic.msg_handler_cost + snic.coherence_access +
+                params.vfifo_write_time(record) +
+                params.dfifo_write_time(record) + nic.send_ack_cost)
+    ack_return = (_net_serialize(params, control) + params.network.latency +
+                  snic.msg_handler_cost)
+    completion = (_pcie_transfer(params, control) + host.msg_handler_cost)
+    terms = (("prologue", prologue),
+             ("inv_broadcast", inv_out),
+             ("follower", follower),
+             ("ack_return", ack_return),
+             ("completion", completion))
+    return LatencyEstimate(sum(t for _n, t in terms), terms)

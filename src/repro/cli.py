@@ -1,0 +1,250 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``experiment`` — run one (architecture, model, workload) point and
+  print latency/throughput.
+* ``figure``     — regenerate one of the paper's evaluation artifacts
+  (fig4, fig9, fig10, fig11, fig12, fig13, fig14, tab1).
+* ``verify``     — model-check a protocol configuration (Table I).
+* ``trace``      — trace a single replicated write and print the
+  per-node protocol timeline.
+* ``sweep``      — cartesian parameter sweeps over experiment points.
+* ``report``     — assemble benchmarks/results/*.txt into one report.
+* ``models`` / ``configs`` — list the available DDP models and
+  architecture presets.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench import figures
+from repro.bench.harness import (ExperimentConfig, format_table,
+                                 run_experiment)
+from repro.core.config import ABLATION_CONFIGS, config_by_name
+from repro.core.model import ALL_MODELS, model_by_name
+from repro.hw.params import DEFAULT_MACHINE
+
+FIGURES = {
+    "fig4": lambda scale: figures.fig4(scale),
+    "fig9": lambda scale: figures.fig9(scale)["writes"],
+    "fig10": lambda scale: figures.fig10(scale)["writes"],
+    "fig11": lambda scale: figures.fig11(scale),
+    "fig12": lambda scale: figures.fig12(scale),
+    "fig13": lambda scale: figures.fig13(scale),
+    "fig14": lambda scale: figures.fig14(scale),
+    "tab1": lambda _scale: figures.tab1(),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MINOS (HPCA 2024) reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    experiment = sub.add_parser(
+        "experiment", help="run one experiment point")
+    experiment.add_argument("--arch", default="MINOS-B",
+                            help="architecture preset (see `configs`)")
+    experiment.add_argument("--model", default="synch",
+                            help="DDP model (see `models`)")
+    experiment.add_argument("--nodes", type=int, default=5)
+    experiment.add_argument("--records", type=int, default=200)
+    experiment.add_argument("--requests", type=int, default=80)
+    experiment.add_argument("--clients", type=int, default=3)
+    experiment.add_argument("--write-fraction", type=float, default=0.5)
+    experiment.add_argument("--distribution", default="zipfian",
+                            choices=("zipfian", "uniform"))
+    experiment.add_argument("--seed", type=int, default=42)
+    experiment.add_argument("--value-size", type=int, default=None,
+                            help="record payload bytes (default 1024)")
+    experiment.add_argument("--json", action="store_true",
+                            help="emit the full metrics as JSON")
+
+    figure = sub.add_parser("figure", help="regenerate a paper artifact")
+    figure.add_argument("name", choices=sorted(FIGURES))
+    figure.add_argument("--scale", default="smoke",
+                        choices=("smoke", "default", "full"))
+
+    verify = sub.add_parser("verify", help="model-check a protocol")
+    verify.add_argument("--model", default="synch")
+    verify.add_argument("--arch", default="MINOS-B")
+    verify.add_argument("--nodes", type=int, default=2)
+    verify.add_argument("--writes", type=int, default=2,
+                        help="concurrent conflicting writes to check")
+
+    trace = sub.add_parser("trace", help="trace one replicated write")
+    trace.add_argument("--arch", default="MINOS-O")
+    trace.add_argument("--model", default="synch")
+    trace.add_argument("--nodes", type=int, default=3)
+
+    sweep = sub.add_parser(
+        "sweep", help="cartesian parameter sweep "
+        "(e.g. sweep nodes=2,4,8 config=MINOS-B,MINOS-O)")
+    sweep.add_argument("axes", nargs="+",
+                       help="axis specs: name=v1,v2,... (fields of the "
+                       "experiment config, plus persist_latency / "
+                       "fifo_entries)")
+    sweep.add_argument("--records", type=int, default=100)
+    sweep.add_argument("--requests", type=int, default=40)
+    sweep.add_argument("--clients", type=int, default=2)
+
+    report = sub.add_parser(
+        "report", help="assemble benchmarks/results/*.txt into one report")
+    report.add_argument("--results-dir", default="benchmarks/results")
+    report.add_argument("--output", default=None,
+                        help="write the report here instead of stdout")
+
+    sub.add_parser("models", help="list DDP models")
+    sub.add_parser("configs", help="list architecture presets")
+    return parser
+
+
+def _cmd_experiment(args) -> int:
+    config = ExperimentConfig(
+        model=model_by_name(args.model),
+        config=config_by_name(args.arch),
+        nodes=args.nodes,
+        records=args.records,
+        requests_per_client=args.requests,
+        clients_per_node=args.clients,
+        write_fraction=args.write_fraction,
+        distribution=args.distribution,
+        seed=args.seed,
+        value_size=args.value_size,
+    )
+    result = run_experiment(config)
+    if args.json:
+        import json
+
+        payload = result.metrics.to_dict()
+        payload["experiment"] = config.label()
+        payload["host_utilization"] = result.host_utilization
+        payload["communication_fraction"] = \
+            result.breakdown.communication_fraction
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(f"experiment: {config.label()}")
+    print(f"  write latency : {result.write_latency}")
+    print(f"  read  latency : {result.read_latency}")
+    print(f"  write tput    : {result.write_throughput / 1e3:.1f} kops/s")
+    print(f"  read  tput    : {result.read_throughput / 1e3:.1f} kops/s")
+    print(f"  breakdown     : {result.breakdown}")
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    rows = FIGURES[args.name](args.scale)
+    print(f"=== {args.name} (scale={args.scale}) ===")
+    print(format_table(rows))
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    from repro.verify import ModelChecker, ProtocolSpec, WriteDef
+
+    offload = config_by_name(args.arch).offload
+    writes = tuple(WriteDef(coord % args.nodes)
+                   for coord in range(args.writes))
+    spec = ProtocolSpec(model=model_by_name(args.model), nodes=args.nodes,
+                        writes=writes, offload=offload)
+    result = ModelChecker(spec).check()
+    print(f"verify: {args.arch} {spec.model.name} nodes={args.nodes} "
+          f"writes={args.writes}")
+    print(f"  {result}")
+    for violation in result.violations:
+        print(f"  VIOLATION: {violation}")
+    return 0 if result.ok else 1
+
+
+def _cmd_trace(args) -> int:
+    from repro.cluster.cluster import MinosCluster
+
+    cluster = MinosCluster(model=model_by_name(args.model),
+                           config=config_by_name(args.arch),
+                           params=DEFAULT_MACHINE.with_nodes(args.nodes))
+    tracer = cluster.attach_tracer()
+    cluster.load_records([("key", "v0")])
+    result = cluster.write(0, "key", "v1")
+    cluster.sim.run()
+    print(f"one write on {args.arch} {cluster.model.name}: "
+          f"{result.latency * 1e6:.2f} us\n")
+    print(tracer.timeline())
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.bench.sweep import Sweep, parse_axis
+
+    base = ExperimentConfig(records=args.records,
+                            requests_per_client=args.requests,
+                            clients_per_node=args.clients)
+    axes = dict(parse_axis(spec) for spec in args.axes)
+    rows = Sweep(base, axes).run()
+    print(format_table(rows))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    import pathlib
+
+    results = pathlib.Path(args.results_dir)
+    files = sorted(results.glob("*.txt")) if results.is_dir() else []
+    if not files:
+        print(f"no result tables under {results}/ — run "
+              "`pytest benchmarks/ --benchmark-only` first")
+        return 1
+    sections = ["# MINOS reproduction — benchmark report", ""]
+    for path in files:
+        sections.append(f"## {path.stem}")
+        sections.append("")
+        sections.append("```")
+        sections.append(path.read_text().rstrip())
+        sections.append("```")
+        sections.append("")
+    text = "\n".join(sections)
+    if args.output:
+        pathlib.Path(args.output).write_text(text)
+        print(f"wrote {args.output} ({len(files)} tables)")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_models(_args) -> int:
+    for model in ALL_MODELS:
+        print(model.name)
+    return 0
+
+
+def _cmd_configs(_args) -> int:
+    for config in ABLATION_CONFIGS:
+        flags = [name for name in ("offload", "batching", "broadcast")
+                 if getattr(config, name)]
+        print(f"{config.name:22s} [{', '.join(flags) or 'baseline'}]")
+    return 0
+
+
+_COMMANDS = {
+    "experiment": _cmd_experiment,
+    "figure": _cmd_figure,
+    "report": _cmd_report,
+    "sweep": _cmd_sweep,
+    "verify": _cmd_verify,
+    "trace": _cmd_trace,
+    "models": _cmd_models,
+    "configs": _cmd_configs,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

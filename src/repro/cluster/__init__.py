@@ -1,0 +1,6 @@
+"""Cluster assembly and client drivers."""
+
+from repro.cluster.client import ClosedLoopClient, OpenLoopClient
+from repro.cluster.cluster import MinosCluster, Node
+
+__all__ = ["ClosedLoopClient", "MinosCluster", "Node", "OpenLoopClient"]

@@ -1,0 +1,111 @@
+"""Client drivers: closed-loop and open-loop load generation.
+
+The paper keeps five cores busy per node issuing requests back-to-back;
+a :class:`ClosedLoopClient` is one such request loop: it draws operations
+from its workload stream and issues the next as soon as the previous one
+returns to the client.
+
+:class:`OpenLoopClient` instead issues operations at Poisson arrivals of
+a configured rate, independent of completions — the standard way to
+measure latency as a function of *offered load* and to expose queueing
+past the saturation point (closed-loop clients self-throttle and cannot).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Optional
+
+from repro.errors import ConfigError
+from repro.workloads.ycsb import Op, OpKind
+
+
+class ClosedLoopClient:
+    """One request loop bound to a node's engine."""
+
+    def __init__(self, cluster, engine, ops: Iterator[Op],
+                 client_idx: int = 0) -> None:
+        self.cluster = cluster
+        self.engine = engine
+        self.ops = ops
+        self.client_idx = client_idx
+        self.completed = 0
+        self.finished_at: Optional[float] = None
+
+    def run(self):
+        """The driver process: issue every op, then record completion."""
+        for op in self.ops:
+            if self.engine.crashed:
+                break  # a crashed node's clients stop issuing requests
+            if op.kind is OpKind.WRITE:
+                yield from self.engine.client_write(op.key, op.value,
+                                                    scope=op.scope,
+                                                    size=op.size)
+            elif op.kind is OpKind.READ:
+                yield from self.engine.client_read(op.key)
+            elif op.kind is OpKind.PERSIST:
+                yield from self.engine.client_persist(op.scope)
+            else:  # pragma: no cover - OpKind is closed
+                raise ConfigError(f"unknown op kind {op.kind}")
+            self.completed += 1
+        self.finished_at = self.engine.sim.now
+        return self.completed
+
+
+class OpenLoopClient:
+    """Issues ops at exponential (Poisson) interarrival times.
+
+    Every operation runs as its own process, so arrivals never wait for
+    completions; in-flight operations overlap naturally.  Join
+    :attr:`done` (an event) or inspect :attr:`inflight` to detect
+    completion of all issued work.
+    """
+
+    def __init__(self, cluster, engine, ops: Iterator[Op],
+                 rate_ops_per_sec: float, seed: int = 0) -> None:
+        if rate_ops_per_sec <= 0:
+            raise ConfigError("rate_ops_per_sec must be positive")
+        self.cluster = cluster
+        self.engine = engine
+        self.ops = ops
+        self.rate = rate_ops_per_sec
+        self.rng = random.Random(seed)
+        self.issued = 0
+        self.completed = 0
+        self.inflight = 0
+        self.finished_at: Optional[float] = None
+        self.done = engine.sim.event(label="openloop.done")
+        self._arrivals_finished = False
+
+    def _execute(self, op: Op):
+        if op.kind is OpKind.WRITE:
+            yield from self.engine.client_write(op.key, op.value,
+                                                scope=op.scope,
+                                                size=op.size)
+        elif op.kind is OpKind.READ:
+            yield from self.engine.client_read(op.key)
+        elif op.kind is OpKind.PERSIST:
+            yield from self.engine.client_persist(op.scope)
+        self.completed += 1
+        self.inflight -= 1
+        if (self._arrivals_finished and self.inflight == 0 and
+                not self.done.triggered):
+            self.finished_at = self.engine.sim.now
+            self.done.succeed()
+
+    def run(self):
+        """The arrival process: spawn one process per operation."""
+        sim = self.engine.sim
+        for op in self.ops:
+            yield sim.timeout(self.rng.expovariate(self.rate))
+            if self.engine.crashed:
+                break
+            self.issued += 1
+            self.inflight += 1
+            sim.spawn(self._execute(op),
+                      name=f"openloop.op{self.issued}")
+        self._arrivals_finished = True
+        if self.inflight == 0 and not self.done.triggered:
+            self.finished_at = sim.now
+            self.done.succeed()
+        return self.issued

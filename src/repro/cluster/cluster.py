@@ -1,0 +1,217 @@
+"""Cluster assembly: nodes, network, and experiment execution.
+
+:class:`MinosCluster` is the library's main entry point.  It wires up the
+simulated machine (hosts, NICs or SmartNICs, the network fabric), one
+protocol engine per node, and the shared metrics sink, then runs client
+drivers against it.
+
+Typical use::
+
+    from repro import MinosCluster, MINOS_O, LIN_SYNCH, YcsbWorkload
+
+    cluster = MinosCluster(model=LIN_SYNCH, config=MINOS_O)
+    workload = YcsbWorkload(records=1000, requests_per_client=200)
+    metrics = cluster.run_workload(workload, clients_per_node=2)
+    print(metrics.write_latency.summary())
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional
+
+from repro.cluster.client import ClosedLoopClient, OpenLoopClient
+from repro.core.config import MINOS_B, ProtocolConfig
+from repro.core.model import DDPModel, LIN_SYNCH
+from repro.errors import ConfigError
+from repro.hw.host import Host
+from repro.hw.nic import BaselineNic
+from repro.hw.params import DEFAULT_MACHINE, MachineParams
+from repro.hw.smartnic import SmartNic
+from repro.kv.store import MinosKV
+from repro.metrics.stats import Metrics
+from repro.sim.kernel import Simulator
+from repro.sim.network import Network
+
+
+class Node:
+    """One simulated machine: host + (Smart)NIC + replica + engine."""
+
+    def __init__(self, sim: Simulator, node_id: int, params: MachineParams,
+                 model: DDPModel, config: ProtocolConfig, network: Network,
+                 metrics: Metrics, peers: List[int]) -> None:
+        # Imported here to keep hw/ <- core/ layering acyclic at import
+        # time for the library's public modules.
+        from repro.core.baseline.engine import BaselineEngine
+        from repro.core.offload.engine import OffloadEngine
+
+        self.node_id = node_id
+        self.host = Host(sim, node_id, params)
+        self.kv = MinosKV(sim, node_id)
+        if config.offload:
+            self.snic = SmartNic(sim, node_id, params, network,
+                                 self.host.inbox,
+                                 batching=config.batching,
+                                 broadcast=config.broadcast)
+            self.nic = None
+            self.engine = OffloadEngine(sim, node_id, params, model, config,
+                                        self.host, self.snic, self.kv,
+                                        peers, metrics)
+        else:
+            self.nic = BaselineNic(sim, node_id, params, network,
+                                   self.host.inbox,
+                                   broadcast=config.broadcast)
+            self.snic = None
+            self.engine = BaselineEngine(sim, node_id, params, model, config,
+                                         self.host, self.nic, self.kv,
+                                         peers, metrics)
+
+
+class MinosCluster:
+    """A simulated MINOS deployment.
+
+    Parameters
+    ----------
+    model:
+        The ⟨consistency, persistency⟩ model (default ⟨Lin, Synch⟩).
+    config:
+        Architecture flags — :data:`~repro.core.config.MINOS_B`,
+        :data:`~repro.core.config.MINOS_O`, or any Fig. 12 ablation preset.
+    params:
+        Hardware parameters (Tables II/III defaults).
+    """
+
+    def __init__(self, model: DDPModel = LIN_SYNCH,
+                 config: ProtocolConfig = MINOS_B,
+                 params: MachineParams = DEFAULT_MACHINE) -> None:
+        self.model = model
+        self.config = config
+        self.params = params
+        self.sim = Simulator()
+        self.network = Network(self.sim)
+        self.metrics = Metrics()
+        peers = list(range(params.nodes))
+        self.nodes = [Node(self.sim, node_id, params, model, config,
+                           self.network, self.metrics, peers)
+                      for node_id in peers]
+
+    def attach_tracer(self):
+        """Attach a :class:`repro.trace.Tracer` to every engine and
+        return it.  Protocol events are recorded from this point on."""
+        from repro.trace import Tracer
+
+        tracer = Tracer(self.sim)
+        for node in self.nodes:
+            node.engine.tracer = tracer
+        return tracer
+
+    # -- database ---------------------------------------------------------------
+
+    def load_records(self, records: Iterable[tuple]) -> int:
+        """Pre-populate every replica with (key, value) pairs."""
+        count = 0
+        for key, value in records:
+            for node in self.nodes:
+                node.kv.load_initial(key, value)
+            count += 1
+        return count
+
+    # -- direct operation API ------------------------------------------------------
+
+    def node(self, node_id: int) -> Node:
+        return self.nodes[node_id]
+
+    def write(self, node_id: int, key: Any, value: Any,
+              scope: Optional[int] = None):
+        """Run one client write to completion (drains the simulation)."""
+        return self.sim.run_process(
+            self.nodes[node_id].engine.client_write(key, value, scope=scope),
+            name=f"write@{node_id}")
+
+    def read(self, node_id: int, key: Any):
+        """Run one client read to completion (drains the simulation)."""
+        return self.sim.run_process(
+            self.nodes[node_id].engine.client_read(key),
+            name=f"read@{node_id}")
+
+    def persist_scope(self, node_id: int, scope: int):
+        """Run one [PERSIST]sc to completion (⟨Lin, Scope⟩ only)."""
+        return self.sim.run_process(
+            self.nodes[node_id].engine.client_persist(scope),
+            name=f"persist@{node_id}")
+
+    # -- workload execution ------------------------------------------------------------
+
+    def run_workload(self, workload, clients_per_node: int = 2,
+                     nodes: Optional[List[int]] = None) -> Metrics:
+        """Run a workload with closed-loop clients and return the metrics.
+
+        *workload* must provide ``initial_records()`` and
+        ``ops_for(node_id, client_idx)`` (see
+        :class:`~repro.workloads.ycsb.YcsbWorkload`).
+        """
+        if clients_per_node < 1:
+            raise ConfigError("clients_per_node must be >= 1")
+        self.load_records(workload.initial_records())
+        target_nodes = nodes if nodes is not None else range(len(self.nodes))
+        clients = []
+        for node_id in target_nodes:
+            engine = self.nodes[node_id].engine
+            for client_idx in range(clients_per_node):
+                ops = workload.ops_for(node_id, client_idx)
+                clients.append(ClosedLoopClient(self, engine, ops,
+                                                client_idx))
+        self.metrics.started_at = self.sim.now
+        processes = [self.sim.spawn(c.run(), name=f"client.{i}")
+                     for i, c in enumerate(clients)]
+        self.sim.run()
+        unfinished = [p.name for p in processes if not p.triggered]
+        if unfinished:
+            raise ConfigError(
+                f"workload deadlocked; unfinished drivers: {unfinished}")
+        self.metrics.finished_at = max(
+            (c.finished_at for c in clients if c.finished_at is not None),
+            default=self.sim.now)
+        return self.metrics
+
+    def run_open_loop(self, workload, rate_per_client: float,
+                      clients_per_node: int = 1) -> Metrics:
+        """Run *workload* with open-loop (Poisson-arrival) clients.
+
+        *rate_per_client* is the offered load per client in ops/second;
+        operations are issued at that rate regardless of completions, so
+        latencies include queueing once the cluster saturates.
+        """
+        if clients_per_node < 1:
+            raise ConfigError("clients_per_node must be >= 1")
+        self.load_records(workload.initial_records())
+        clients = []
+        for node in self.nodes:
+            for client_idx in range(clients_per_node):
+                ops = workload.ops_for(node.node_id, client_idx)
+                clients.append(OpenLoopClient(
+                    self, node.engine, ops, rate_per_client,
+                    seed=node.node_id * 1000 + client_idx))
+        self.metrics.started_at = self.sim.now
+        for i, client in enumerate(clients):
+            self.sim.spawn(client.run(), name=f"openloop.{i}")
+        self.sim.run()
+        pending = [c for c in clients if not c.done.triggered]
+        if pending:
+            raise ConfigError(
+                f"open-loop run deadlocked; {len(pending)} clients have "
+                "in-flight operations")
+        self.metrics.finished_at = max(
+            (c.finished_at for c in clients if c.finished_at is not None),
+            default=self.sim.now)
+        return self.metrics
+
+    # -- failure injection hooks (see repro.core.recovery) ---------------------------------
+
+    def crash(self, node_id: int) -> None:
+        """Crash a node: it stops processing any traffic."""
+        self.nodes[node_id].engine.crashed = True
+
+    def restore(self, node_id: int) -> None:
+        """Un-crash a node (protocol state catch-up is the recovery
+        manager's job; see :class:`repro.core.recovery.RecoveryManager`)."""
+        self.nodes[node_id].engine.crashed = False

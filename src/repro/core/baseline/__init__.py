@@ -1,0 +1,5 @@
+"""MINOS-Baseline protocol engine (paper §III)."""
+
+from repro.core.baseline.engine import BaselineEngine
+
+__all__ = ["BaselineEngine"]

@@ -1,0 +1,68 @@
+"""Protocol / architecture configuration and the Figure 12 ablation presets.
+
+Three feature flags describe every architecture the paper evaluates:
+
+* ``offload`` — run the protocol on the SmartNIC ("Combined" in §VIII-D:
+  offloading + host↔SNIC coherence + write-lock elimination, which the
+  paper only ever applies together "because applying them separately is
+  sub-optimal").
+* ``batching`` — single dest-mapped INV host→NIC and single batched ACK
+  NIC→host (§V-B.3 first mechanism).
+* ``broadcast`` — the Message Broadcast Module (§V-B.3 second mechanism).
+  Broadcast consumes *dest-mapped* messages; without batching the INV path
+  never produces one, which is why broadcast alone does not help (§VIII-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class ProtocolConfig:
+    """Which architecture runs the DDP protocol."""
+
+    offload: bool = False
+    batching: bool = False
+    broadcast: bool = False
+
+    @property
+    def name(self) -> str:
+        if self.offload and self.batching and self.broadcast:
+            return "MINOS-O"
+        if not (self.offload or self.batching or self.broadcast):
+            return "MINOS-B"
+        parts = []
+        parts.append("Combined" if self.offload else "MINOS-B")
+        if self.broadcast:
+            parts.append("broadcast")
+        if self.batching:
+            parts.append("batching")
+        return "+".join(parts)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: The seven architectures of Figure 12, in the figure's bar order.
+MINOS_B = ProtocolConfig()
+B_BROADCAST = ProtocolConfig(broadcast=True)
+B_BATCHING = ProtocolConfig(batching=True)
+COMBINED = ProtocolConfig(offload=True)
+COMBINED_BROADCAST = ProtocolConfig(offload=True, broadcast=True)
+COMBINED_BATCHING = ProtocolConfig(offload=True, batching=True)
+MINOS_O = ProtocolConfig(offload=True, batching=True, broadcast=True)
+
+ABLATION_CONFIGS = (MINOS_B, B_BROADCAST, B_BATCHING, COMBINED,
+                    COMBINED_BROADCAST, COMBINED_BATCHING, MINOS_O)
+
+
+def config_by_name(name: str) -> ProtocolConfig:
+    """Look up a config by its display name (e.g. ``"MINOS-O"``)."""
+    for config in ABLATION_CONFIGS:
+        if config.name.lower() == name.lower():
+            return config
+    raise ConfigError(f"unknown protocol config {name!r}; choose from "
+                      f"{[c.name for c in ABLATION_CONFIGS]}")

@@ -1,0 +1,247 @@
+"""Shared protocol-engine machinery for MINOS-B and MINOS-O.
+
+Both engines (one instance per node) expose the same surface to the client
+drivers — ``client_write``, ``client_read``, ``client_persist`` generators
+— and share: write-transaction bookkeeping (:class:`WriteTxn`), timestamp
+issuing, the handleObsolete() helper, and scope tracking.  The per-variant
+algorithms live in :mod:`repro.core.baseline` and :mod:`repro.core.offload`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.core.messages import Message, MsgType
+from repro.core.metadata import RecordMeta
+from repro.core.model import DDPModel, Persistency
+from repro.core.scope import ScopeTracker
+from repro.core.timestamp import Timestamp
+from repro.errors import ProtocolError
+from repro.hw.host import Host
+from repro.hw.params import MachineParams
+from repro.kv.store import MinosKV
+from repro.metrics.stats import Metrics
+from repro.sim.events import Event
+from repro.sim.kernel import Simulator
+
+
+@dataclass
+class WriteResult:
+    """Returned by ``client_write`` when control returns to the client."""
+
+    key: Any
+    ts: Timestamp
+    obsolete: bool
+    latency: float
+
+
+@dataclass
+class ReadResult:
+    """Returned by ``client_read``."""
+
+    key: Any
+    value: Any
+    ts: Timestamp
+    latency: float
+
+
+class WriteTxn:
+    """Coordinator-side bookkeeping of one client-write.
+
+    Tracks which followers have acknowledged (Table I's
+    ``RcvedACK*_SenderID`` bookkeeping) and exposes completion events the
+    coordinator algorithm waits on.
+    """
+
+    def __init__(self, sim: Simulator, write_id: int, key: Any,
+                 ts: Timestamp, expected) -> None:
+        self.sim = sim
+        self.write_id = write_id
+        self.key = key
+        self.ts = ts
+        #: Follower nodes this write expects responses from.
+        self.expected = frozenset(expected)
+        #: Nodes declared failed while the write was in flight; their
+        #: missing ACKs no longer block completion (§III-E).
+        self.excluded: set = set()
+        self.acks: set = set()
+        self.ack_cs: set = set()
+        self.ack_ps: set = set()
+        self.all_acks = sim.event(label=f"w{write_id}.acks")
+        self.all_ack_cs = sim.event(label=f"w{write_id}.ack_cs")
+        self.all_ack_ps = sim.event(label=f"w{write_id}.ack_ps")
+        self.local_persist_done = sim.event(label=f"w{write_id}.persist")
+        #: MINOS-O only: fired when the host learns the write completed
+        #: (the batched ACK / final forwarded ACK arrived over PCIe).
+        self.host_complete = sim.event(label=f"w{write_id}.host")
+        #: MINOS-O only: fired once the local vFIFO enqueue finished.
+        self.local_enqueued = sim.event(label=f"w{write_id}.venq")
+        #: Filled by the engine for the Fig. 4 communication accounting.
+        self.inv_deposited_at: Optional[float] = None
+        self.last_ack_at: Optional[float] = None
+
+    @property
+    def followers(self) -> int:
+        return len(self.expected)
+
+    def _buckets(self):
+        return ((self.acks, self.all_acks),
+                (self.ack_cs, self.all_ack_cs),
+                (self.ack_ps, self.all_ack_ps))
+
+    def _check(self, bucket: set, event) -> None:
+        if (self.expected - self.excluded) <= bucket and not event.triggered:
+            event.succeed()
+
+    def on_ack(self, msg: Message) -> None:
+        """Record an ACK/ACK_C/ACK_P from ``msg.src``."""
+        if msg.type is MsgType.ACK:
+            bucket, event = self.acks, self.all_acks
+        elif msg.type is MsgType.ACK_C:
+            bucket, event = self.ack_cs, self.all_ack_cs
+        elif msg.type is MsgType.ACK_P:
+            bucket, event = self.ack_ps, self.all_ack_ps
+        else:
+            raise ProtocolError(f"not an ACK: {msg}")
+        if msg.src in bucket:
+            raise ProtocolError(
+                f"duplicate {msg.type.name} from node {msg.src} for "
+                f"write {self.write_id}")
+        bucket.add(msg.src)
+        self.last_ack_at = self.sim.now
+        self._check(bucket, event)
+
+    def exclude(self, node_id: int) -> None:
+        """Stop waiting for *node_id* (it was declared failed)."""
+        if node_id not in self.expected or node_id in self.excluded:
+            return
+        self.excluded.add(node_id)
+        for bucket, event in self._buckets():
+            self._check(bucket, event)
+
+
+def validate_model(model: DDPModel) -> None:
+    """Reject ⟨consistency, persistency⟩ combinations no engine
+    implements.  Eventual consistency is supported with Synchronous
+    (persist-with-local-update) and Eventual persistency; the
+    coordination-heavy persistency models (Strict, REnf, Scope)
+    contradict EC's no-waiting write path and are left as future work."""
+    if model.is_eventual_consistency and model.persistency not in (
+            Persistency.SYNCHRONOUS, Persistency.EVENTUAL):
+        raise ProtocolError(
+            f"{model.name} is not supported: eventual consistency pairs "
+            "with Synch or Event persistency only")
+
+
+class EngineBase:
+    """State and helpers common to the baseline and offload engines."""
+
+    def __init__(self, sim: Simulator, node_id: int, params: MachineParams,
+                 model: DDPModel, host: Host, kv: MinosKV,
+                 peers: List[int], metrics: Metrics) -> None:
+        self.sim = sim
+        self.node_id = node_id
+        self.params = params
+        self.model = model
+        self.host = host
+        self.kv = kv
+        self.peers = [p for p in peers if p != node_id]
+        self.metrics = metrics
+        self.scope_tracker = ScopeTracker(sim)
+        self._txns: Dict[int, WriteTxn] = {}
+        self._last_version: Dict[Any, int] = {}
+        #: Set true by failure injection: a crashed node ignores traffic.
+        self.crashed = False
+        #: Optional repro.trace.Tracer; attach via MinosCluster.attach_tracer.
+        self.tracer = None
+
+    def trace(self, category: str, label: str, **details) -> None:
+        """Emit a protocol trace event if a tracer is attached."""
+        if self.tracer is not None:
+            self.tracer.emit(self.node_id, category, label, **details)
+
+    # -- timestamps -----------------------------------------------------------
+
+    def issue_ts(self, key: Any) -> Timestamp:
+        """Generate TS_WR for a new client-write (paper §III-A): the local
+        record's version plus one, stamped with the Coordinator's id.
+
+        A per-key high-water mark keeps concurrently issued local writes
+        unique (two local threads reading the same volatileTS would
+        otherwise mint identical timestamps)."""
+        meta = self.kv.meta(key)
+        version = max(meta.volatile_ts.version,
+                      self._last_version.get(key, -1)) + 1
+        self._last_version[key] = version
+        return Timestamp(version, self.node_id)
+
+    # -- transactions ------------------------------------------------------------
+
+    def register_txn(self, key: Any, ts: Timestamp, write_id: int) -> WriteTxn:
+        txn = WriteTxn(self.sim, write_id, key, ts, self.peers)
+        self._txns[write_id] = txn
+        return txn
+
+    def exclude_node(self, node_id: int) -> None:
+        """Remove a failed node from this engine's replica set: new writes
+        stop addressing it, and in-flight writes stop waiting for it."""
+        if node_id in self.peers:
+            self.peers.remove(node_id)
+        for txn in list(self._txns.values()):
+            txn.exclude(node_id)
+
+    def include_node(self, node_id: int) -> None:
+        """Re-insert a recovered node into the replica set."""
+        if node_id != self.node_id and node_id not in self.peers:
+            self.peers.append(node_id)
+            self.peers.sort()
+
+    def txn(self, write_id: int) -> Optional[WriteTxn]:
+        return self._txns.get(write_id)
+
+    def retire_txn(self, write_id: int) -> None:
+        self._txns.pop(write_id, None)
+
+    def client_complete_event(self, txn: WriteTxn) -> Event:
+        """The event whose firing lets the write response return to the
+        client (paper §II-A "Brief Model Definitions"):
+
+        * Synch  — all (combined) ACKs: updated **and** persisted.
+        * Strict — all ACK_Cs and all ACK_Ps.
+        * REnf / Event / Scope — all ACK_Cs: replicas updated.
+        """
+        persistency = self.model.persistency
+        if persistency is Persistency.SYNCHRONOUS:
+            return txn.all_acks
+        if persistency is Persistency.STRICT:
+            return self.sim.all_of([txn.all_ack_cs, txn.all_ack_ps])
+        return txn.all_ack_cs
+
+    # -- handleObsolete (paper Fig. 2 lines 1-3 / 23-25) ----------------------------
+
+    def handle_obsolete(self, meta: RecordMeta):
+        """ConsistencySpin always (Lin); PersistencySpin only for the
+        models that track persistency (§III-C)."""
+        yield from meta.consistency_spin()
+        if self.model.persistency_spin_on_obsolete:
+            yield from meta.persistency_spin()
+
+    # -- misc ------------------------------------------------------------------------
+
+    @property
+    def cluster_size(self) -> int:
+        return len(self.peers) + 1
+
+    def record_read_metrics(self, started: float) -> float:
+        latency = self.sim.now - started
+        self.metrics.record_read(latency)
+        return latency
+
+    def record_write_metrics(self, txn: WriteTxn, started: float) -> float:
+        latency = self.sim.now - started
+        self.metrics.record_write(latency)
+        if txn.inv_deposited_at is not None and txn.last_ack_at is not None:
+            self.metrics.record_comm_span(
+                txn.write_id, txn.inv_deposited_at, txn.last_ack_at)
+        return latency

@@ -1,0 +1,93 @@
+"""Protocol messages (paper §II-A and Table I type check 4a).
+
+The legal message vocabulary is::
+
+    INV, ACK, ACK_C, ACK_P, VAL, VAL_C, VAL_P,
+    [INV]sc, [ACK_C]sc, [ACK_P]sc, [VAL_C]sc, [VAL_P]sc, [PERSIST]sc
+
+Scoped variants are the same :class:`MsgType` with a non-``None``
+``scope`` field.  ``BATCHED_ACK`` is the MINOS-O SNIC→host completion
+notification (§V-B.3) — it never crosses the network.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum, auto
+from typing import Any, Optional
+
+from repro.core.timestamp import Timestamp
+
+_write_ids = itertools.count(1)
+
+
+def next_write_id() -> int:
+    """A unique id for each client-write transaction (debug/bookkeeping)."""
+    return next(_write_ids)
+
+
+class MsgType(Enum):
+    INV = auto()
+    ACK = auto()
+    ACK_C = auto()
+    ACK_P = auto()
+    VAL = auto()
+    VAL_C = auto()
+    VAL_P = auto()
+    PERSIST = auto()
+    #: SNIC -> host only: "all ACKs in, your write is complete".
+    BATCHED_ACK = auto()
+
+    @property
+    def is_ack(self) -> bool:
+        return self in (MsgType.ACK, MsgType.ACK_C, MsgType.ACK_P)
+
+    @property
+    def is_val(self) -> bool:
+        return self in (MsgType.VAL, MsgType.VAL_C, MsgType.VAL_P)
+
+
+#: Message types that may travel between nodes (Table I, check 4a).
+NETWORK_LEGAL = frozenset({
+    MsgType.INV, MsgType.ACK, MsgType.ACK_C, MsgType.ACK_P,
+    MsgType.VAL, MsgType.VAL_C, MsgType.VAL_P, MsgType.PERSIST,
+})
+
+
+@dataclass
+class Message:
+    """One protocol message.
+
+    ``ts`` is the client-write's TS_WR, carried by every message of that
+    transaction (§III-A).  ``value`` rides on INV only.  ``scope`` marks
+    the ⟨Lin, Scope⟩ variants; ``persist_id`` identifies a [PERSIST]sc
+    transaction and its [ACK_P]sc / [VAL_P]sc responses.
+    """
+
+    type: MsgType
+    key: Any
+    ts: Timestamp
+    src: int
+    value: Any = None
+    scope: Optional[int] = None
+    persist_id: Optional[int] = None
+    #: Payload size in bytes; None means the machine's default record
+    #: size.  Set per-write to model variable-sized records.
+    size: Optional[int] = None
+    write_id: int = field(default_factory=next_write_id)
+
+    @property
+    def is_scoped(self) -> bool:
+        return self.scope is not None
+
+    def reply(self, type: MsgType, src: int) -> "Message":
+        """A response to this message: same transaction identity, new
+        type and sender, no payload."""
+        return Message(type=type, key=self.key, ts=self.ts, src=src,
+                       scope=self.scope, persist_id=self.persist_id,
+                       size=self.size, write_id=self.write_id)
+
+    def __str__(self) -> str:
+        sc = f"[sc{self.scope}]" if self.is_scoped else ""
+        return f"{self.type.name}{sc}(k={self.key}, {self.ts}, from n{self.src})"

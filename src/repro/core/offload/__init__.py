@@ -1,0 +1,5 @@
+"""MINOS-Offload protocol engine (paper §V)."""
+
+from repro.core.offload.engine import OffloadEngine
+
+__all__ = ["OffloadEngine"]

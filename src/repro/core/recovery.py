@@ -1,0 +1,240 @@
+"""Failure detection and recovery (paper §III-E).
+
+The paper's scheme: nodes fail by crash or disconnection; *timeout-based*
+detection identifies the non-responding node and alerts the others; when
+the node is re-inserted, a designated node ships it the log of all updates
+committed since it stopped responding, which it applies to its persistent
+and volatile state.  (The paper explicitly leaves deeper recovery —
+mid-transaction coordinator failure — to future work; so do we.)
+
+:class:`RecoveryManager` drives this for a cluster: per-node heartbeat
+broadcasters, per-node monitors that exclude unresponsive peers from the
+replica set (unblocking in-flight writes), and the catch-up exchange on
+re-insertion.  All of its traffic flows through the same NIC/SmartNIC
+fabric as protocol messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.errors import RecoveryError
+from repro.hw.nic import Envelope
+from repro.hw.params import us
+from repro.kv.log import LogEntry
+
+
+@dataclass
+class Heartbeat:
+    """Periodic liveness beacon."""
+
+    node_id: int
+    seq: int
+    sent_at: float
+
+
+@dataclass
+class JoinRequest:
+    """A recovering node asks a designated node for catch-up data."""
+
+    node_id: int
+    last_serial: int
+
+
+@dataclass
+class JoinData:
+    """Catch-up payload: committed log entries the joiner missed."""
+
+    from_node: int
+    to_node: int
+    entries: List[LogEntry] = field(default_factory=list)
+
+
+@dataclass
+class Rejoined:
+    """Broadcast by a recovered node so peers re-include it."""
+
+    node_id: int
+
+
+class RecoveryManager:
+    """Failure detection + re-insertion for a :class:`MinosCluster`.
+
+    Parameters
+    ----------
+    heartbeat_interval / timeout:
+        A node is declared failed by a peer once no heartbeat has been
+        seen for *timeout* (must comfortably exceed the interval).
+    """
+
+    def __init__(self, cluster, heartbeat_interval: float = us(50),
+                 timeout: float = us(200)) -> None:
+        if timeout <= heartbeat_interval:
+            raise RecoveryError("timeout must exceed heartbeat_interval")
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.heartbeat_interval = heartbeat_interval
+        self.timeout = timeout
+        n = len(cluster.nodes)
+        #: last_seen[observer][peer] -> time of last heartbeat from peer.
+        self.last_seen: Dict[int, Dict[int, float]] = {
+            i: {j: 0.0 for j in range(n) if j != i} for i in range(n)}
+        #: suspected[observer] -> set of peers the observer declared failed.
+        self.suspected: Dict[int, set] = {i: set() for i in range(n)}
+        self._seq = 0
+        self.detections = 0
+        self.rejoins = 0
+        self._rejoin_gates: Dict[int, Any] = {}
+        for node in cluster.nodes:
+            node.engine.control_handler = self._make_handler(node.node_id)
+            self.sim.spawn(self._heartbeat_loop(node.node_id),
+                           name=f"n{node.node_id}.hb")
+            self.sim.spawn(self._monitor_loop(node.node_id),
+                           name=f"n{node.node_id}.fd")
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _engine(self, node_id: int):
+        return self.cluster.nodes[node_id].engine
+
+    def _send(self, src: int, dst: int, payload: Any,
+              size_bytes: int = 64) -> None:
+        """Ship a control payload over the regular fabric."""
+        node = self.cluster.nodes[src]
+        if node.snic is not None:
+            node.snic.send_message(dst, payload, size_bytes)
+        else:
+            node.nic.host_deposit(Envelope(
+                payload=payload, size_bytes=size_bytes, src_node=src,
+                dst=dst))
+
+    def _make_handler(self, node_id: int):
+        def handle(payload: Any) -> None:
+            if isinstance(payload, Heartbeat):
+                self._on_heartbeat(node_id, payload)
+            elif isinstance(payload, JoinRequest):
+                self._on_join_request(node_id, payload)
+            elif isinstance(payload, JoinData):
+                self._on_join_data(node_id, payload)
+            elif isinstance(payload, Rejoined):
+                self._on_rejoined(node_id, payload)
+        return handle
+
+    # -- heartbeats & detection ------------------------------------------------
+
+    def _heartbeat_loop(self, node_id: int):
+        engine = self._engine(node_id)
+        while True:
+            if not engine.crashed:
+                self._seq += 1
+                beat = Heartbeat(node_id=node_id, seq=self._seq,
+                                 sent_at=self.sim.now)
+                for peer in range(len(self.cluster.nodes)):
+                    if peer != node_id:
+                        self._send(node_id, peer, beat)
+            yield self.sim.timeout(self.heartbeat_interval)
+
+    def _monitor_loop(self, node_id: int):
+        engine = self._engine(node_id)
+        while True:
+            yield self.sim.timeout(self.heartbeat_interval)
+            if engine.crashed:
+                continue
+            for peer, seen in self.last_seen[node_id].items():
+                stale = self.sim.now - max(seen, 0.0) > self.timeout
+                if stale and peer not in self.suspected[node_id]:
+                    self.suspected[node_id].add(peer)
+                    self.detections += 1
+                    engine.exclude_node(peer)
+
+    def _on_heartbeat(self, observer: int, beat: Heartbeat) -> None:
+        self.last_seen[observer][beat.node_id] = self.sim.now
+        if beat.node_id in self.suspected[observer]:
+            # A suspected node speaking again: re-include it.
+            self.suspected[observer].discard(beat.node_id)
+            self._engine(observer).include_node(beat.node_id)
+
+    # -- crash / recover API -------------------------------------------------------
+
+    def crash(self, node_id: int) -> None:
+        """Crash *node_id*: it stops sending heartbeats and drops traffic."""
+        self.cluster.crash(node_id)
+
+    def recover(self, node_id: int):
+        """Re-insert *node_id*: returns the rejoin process (joinable).
+
+        The node asks the lowest-numbered alive node for the committed
+        updates it missed, applies them, then announces itself.
+        """
+        return self.sim.spawn(self._rejoin(node_id),
+                              name=f"n{node_id}.rejoin")
+
+    def designated_node(self, exclude: int) -> int:
+        for node in self.cluster.nodes:
+            if node.node_id != exclude and not node.engine.crashed:
+                return node.node_id
+        raise RecoveryError("no alive node to recover from")
+
+    def _rejoin(self, node_id: int):
+        engine = self._engine(node_id)
+        engine.crashed = False
+        designated = self.designated_node(exclude=node_id)
+        request = JoinRequest(node_id=node_id,
+                              last_serial=engine.kv.log.last_serial)
+        self._send(node_id, designated, request)
+        # Wait until the JoinData round trip completed and was applied
+        # (the handler fires this gate).
+        gate = self.sim.event(label=f"rejoin:{node_id}")
+        self._rejoin_gates[node_id] = gate
+        yield gate
+        # Announce recovery; peers re-include us on the next heartbeat
+        # anyway, but the explicit Rejoined makes it immediate.
+        for peer in range(len(self.cluster.nodes)):
+            if peer != node_id:
+                self._send(node_id, peer, Rejoined(node_id=node_id))
+        self.rejoins += 1
+        return node_id
+
+    # -- catch-up exchange ---------------------------------------------------------
+
+    def _on_join_request(self, node_id: int, request: JoinRequest) -> None:
+        entries = self._engine(node_id).kv.log.entries_since(
+            request.last_serial)
+        payload = JoinData(from_node=node_id, to_node=request.node_id,
+                           entries=entries)
+        size = max(64, len(entries) * self.cluster.params.record_size)
+        self._send(node_id, request.node_id, payload, size_bytes=size)
+
+    def _on_join_data(self, node_id: int, data: JoinData) -> None:
+        self.sim.spawn(self._apply_join_data(node_id, data),
+                       name=f"n{node_id}.catchup")
+
+    def _apply_join_data(self, node_id: int, data: JoinData):
+        """Apply the catch-up payload to local durable and volatile state."""
+        engine = self._engine(node_id)
+        kv = engine.kv
+        newest: Dict[Any, LogEntry] = {}
+        for entry in data.entries:
+            current = newest.get(entry.key)
+            if current is None or current.ts < entry.ts:
+                newest[entry.key] = entry
+        if data.entries:
+            total = len(data.entries) * self.cluster.params.record_size
+            yield engine.host.nvm.persist(total)
+            yield engine.host.llc.access(
+                len(newest) * self.cluster.params.record_size)
+        kv.log.ingest(iter(data.entries))
+        for entry in newest.values():
+            kv.volatile_write(entry.key, entry.value, entry.ts)
+            meta = kv.meta(entry.key)
+            meta.set_glb_volatile(entry.ts)
+            meta.set_glb_durable(entry.ts)
+        gate = self._rejoin_gates.pop(node_id, None)
+        if gate is not None and not gate.triggered:
+            gate.succeed()
+
+    def _on_rejoined(self, node_id: int, note: Rejoined) -> None:
+        self.suspected[node_id].discard(note.node_id)
+        self._engine(node_id).include_node(note.node_id)
+        self.last_seen[node_id][note.node_id] = self.sim.now

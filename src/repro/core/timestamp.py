@@ -1,0 +1,51 @@
+"""Logical timestamps (paper §III-A, Figure 1(b)).
+
+A timestamp is a ``(version, node_id)`` tuple.  Writes to the same record
+are ordered oldest to newest by version; ties break on node_id (paper:
+"the newer one is the one that has the higher version field or, if the
+versions are the same, the one with the higher node_id").
+
+``NULL_TS`` — ``<-1, -1>`` — is the released value of RDLock_Owner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import total_ordering
+
+
+@total_ordering
+@dataclass(frozen=True)
+class Timestamp:
+    """A logical timestamp: version number plus originating node."""
+
+    version: int
+    node_id: int
+
+    def _key(self) -> tuple[int, int]:
+        return (self.version, self.node_id)
+
+    def __lt__(self, other: "Timestamp") -> bool:
+        if not isinstance(other, Timestamp):
+            return NotImplemented
+        return self._key() < other._key()
+
+    @property
+    def is_null(self) -> bool:
+        return self.version < 0
+
+    def next_for(self, node_id: int) -> "Timestamp":
+        """The timestamp a new client-write from *node_id* generates: the
+        local record's version plus one, stamped with the Coordinator's id
+        (paper §III-A, "Logical Timestamps")."""
+        return Timestamp(self.version + 1, node_id)
+
+    def __str__(self) -> str:
+        return f"<v{self.version}@n{self.node_id}>"
+
+
+#: The "no owner / never written" timestamp.
+NULL_TS = Timestamp(-1, -1)
+
+#: The initial version of every record before any client-write.
+INITIAL_TS = Timestamp(0, 0)

@@ -1,0 +1,31 @@
+"""Hardware models: parameters, memory devices, NICs, SmartNICs, hosts."""
+
+from repro.hw.host import Host
+from repro.hw.memory import Llc, NvmDevice, TimedDevice
+from repro.hw.nic import BaselineNic, Envelope, nic_endpoint
+from repro.hw.params import (DEFAULT_MACHINE, KB, HostParams, LinkParams,
+                             MachineParams, NicParams, SmartNicParams, gbps,
+                             ns, us)
+from repro.hw.smartnic import FifoEntry, SmartNic
+
+__all__ = [
+    "BaselineNic",
+    "DEFAULT_MACHINE",
+    "Envelope",
+    "FifoEntry",
+    "Host",
+    "HostParams",
+    "KB",
+    "LinkParams",
+    "Llc",
+    "MachineParams",
+    "NicParams",
+    "NvmDevice",
+    "SmartNic",
+    "SmartNicParams",
+    "TimedDevice",
+    "gbps",
+    "nic_endpoint",
+    "ns",
+    "us",
+]

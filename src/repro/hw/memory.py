@@ -1,0 +1,68 @@
+"""Timed memory devices: LLC and NVM.
+
+These model *timing only*; the data plane (actual key/value bytes and the
+persistent log contents) lives in :mod:`repro.kv`.
+
+Accesses are **pipelined pure delays** (latency, not occupancy): an access
+takes ``seconds_per_kb * size`` but does not exclude concurrent accesses.
+This follows the paper's SimGrid methodology — memory/NVM costs enter as
+calibrated latencies, while the *contended* resources are CPU cores and
+the PCIe/network ports.  (Modelling the NVM as a serializing device would
+cap MINOS-B and MINOS-O at the identical persist-rate bound and erase the
+offloading speedup the paper measures.)
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.sim.events import Event
+from repro.sim.kernel import Simulator
+
+
+class TimedDevice:
+    """A device whose accesses cost a size-proportional pure delay."""
+
+    def __init__(self, sim: Simulator, seconds_per_kb: float,
+                 name: str = "") -> None:
+        if seconds_per_kb < 0:
+            raise SimulationError("seconds_per_kb must be non-negative")
+        self.sim = sim
+        self.seconds_per_kb = seconds_per_kb
+        self.name = name
+        self.ops = 0
+        self.bytes_processed = 0
+
+    def service_time(self, size_bytes: int) -> float:
+        return self.seconds_per_kb * (size_bytes / 1024.0)
+
+    def access(self, size_bytes: int) -> Event:
+        """An event that fires when the access completes."""
+        if size_bytes < 0:
+            raise SimulationError("size_bytes must be non-negative")
+        self.ops += 1
+        self.bytes_processed += size_bytes
+        return self.sim.timeout(self.service_time(size_bytes))
+
+
+class Llc(TimedDevice):
+    """The host last-level cache, where the volatile replica lives."""
+
+    def __init__(self, sim: Simulator, seconds_per_kb: float,
+                 name: str = "llc") -> None:
+        super().__init__(sim, seconds_per_kb, name=name)
+
+
+class NvmDevice(TimedDevice):
+    """The emulated non-volatile memory device.
+
+    The paper assumes 1295 ns to persist 1 KB (Table II); Figure 14 sweeps
+    this from 100 ns (future NVM) to 100 µs (SSD-class).
+    """
+
+    def __init__(self, sim: Simulator, seconds_per_kb: float,
+                 name: str = "nvm") -> None:
+        super().__init__(sim, seconds_per_kb, name=name)
+
+    def persist(self, size_bytes: int) -> Event:
+        """Alias of :meth:`access`, named after what it means here."""
+        return self.access(size_bytes)

@@ -1,0 +1,7 @@
+"""MINOS-KV: hashtable back-end, NVM log, and the per-node store."""
+
+from repro.kv.hashtable import HashTable
+from repro.kv.log import LogEntry, NvmLog
+from repro.kv.store import MinosKV, VersionedValue
+
+__all__ = ["HashTable", "LogEntry", "MinosKV", "NvmLog", "VersionedValue"]

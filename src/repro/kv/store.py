@@ -1,0 +1,96 @@
+"""MINOS-KV: the per-node key-value store (paper §VII, "Workloads Used").
+
+One :class:`MinosKV` instance is a node's replica of the whole database:
+the volatile image (a :class:`~repro.kv.hashtable.HashTable`, standing in
+for the LLC-resident data), the per-record protocol metadata
+(:class:`~repro.core.metadata.MetadataTable`, Figure 1), and the durable
+:class:`~repro.kv.log.NvmLog`.
+
+All methods are instantaneous state manipulation; the protocol engines
+charge device timings (LLC/NVM/locks) around them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.core.metadata import MetadataTable, RecordMeta
+from repro.core.timestamp import INITIAL_TS, Timestamp
+from repro.kv.hashtable import HashTable
+from repro.kv.log import NvmLog
+from repro.sim.kernel import Simulator
+
+
+@dataclass
+class VersionedValue:
+    """A value with the timestamp of the write that produced it."""
+
+    value: Any
+    ts: Timestamp
+
+
+class MinosKV:
+    """A node's replica of the database plus its protocol metadata."""
+
+    def __init__(self, sim: Simulator, node_id: int,
+                 initial_capacity: int = 8) -> None:
+        self.sim = sim
+        self.node_id = node_id
+        self.table = HashTable(initial_capacity=initial_capacity)
+        self.metadata = MetadataTable(sim)
+        self.log = NvmLog()
+
+    # -- metadata -----------------------------------------------------------
+
+    def meta(self, key: Any) -> RecordMeta:
+        return self.metadata.get(key)
+
+    # -- volatile data plane ----------------------------------------------------
+
+    def load_initial(self, key: Any, value: Any) -> None:
+        """Install an initial record (database pre-population) with the
+        initial timestamp, bypassing the protocol."""
+        self.table.put(key, VersionedValue(value, INITIAL_TS))
+        self.meta(key)  # materialize metadata
+
+    def volatile_read(self, key: Any) -> Optional[VersionedValue]:
+        return self.table.get(key)
+
+    def volatile_write(self, key: Any, value: Any, ts: Timestamp) -> bool:
+        """Apply a local-write to the volatile image iff *ts* is not older
+        than what is already there.  Returns whether the write applied.
+
+        The protocol always checks obsoleteness under the WRLock (MINOS-B)
+        or at vFIFO drain (MINOS-O) before calling this, so a ``False``
+        here indicates a protocol bug — but we keep the check as a final
+        guard ("LLC updates always produce a consistent state")."""
+        current = self.table.get(key)
+        if current is not None and ts < current.ts:
+            return False
+        self.table.put(key, VersionedValue(value, ts))
+        meta = self.meta(key)
+        meta.set_volatile(ts)
+        return True
+
+    def lookup_probes(self, key: Any) -> int:
+        """Probe count a lookup costs now (for the timing model)."""
+        return self.table.probes_for(key)
+
+    # -- durable data plane ---------------------------------------------------------
+
+    def persist(self, key: Any, value: Any, ts: Timestamp,
+                scope: Optional[int] = None):
+        """Append the update to the NVM log (durability point)."""
+        return self.log.append(key, ts, value, scope=scope)
+
+    def durable_value(self, key: Any) -> Any:
+        return self.log.durable_value(key)
+
+    # -- introspection ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.table)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self.table

@@ -1,0 +1,15 @@
+"""Measurement: latency recorders, counters, and the Fig. 4 breakdown."""
+
+from repro.metrics.breakdown import Breakdown, write_breakdown
+from repro.metrics.stats import (Counters, LatencyRecorder, Metrics, Summary,
+                                 percentile)
+
+__all__ = [
+    "Breakdown",
+    "Counters",
+    "LatencyRecorder",
+    "Metrics",
+    "Summary",
+    "percentile",
+    "write_breakdown",
+]

@@ -1,0 +1,38 @@
+"""Discrete-event simulation substrate (SimGrid substitute).
+
+Public surface:
+
+* :class:`Simulator` — the kernel: simulated clock, event calendar,
+  process spawning.
+* :class:`Event`, :class:`Timeout`, :class:`AllOf`, :class:`AnyOf` —
+  awaitable occurrences.
+* :class:`Process` — a running generator-coroutine.
+* :class:`Gate`, :class:`Store`, :class:`BoundedBuffer`, :class:`Resource`,
+  :class:`Lock` — synchronization primitives.
+* :class:`Network`, :class:`Port`, :class:`Mailbox`, :class:`Packet` —
+  the message fabric.
+"""
+
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.kernel import Simulator
+from repro.sim.network import Mailbox, Network, Packet, Port
+from repro.sim.process import Process
+from repro.sim.resources import BoundedBuffer, Gate, Lock, Resource, Store
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "BoundedBuffer",
+    "Event",
+    "Gate",
+    "Lock",
+    "Mailbox",
+    "Network",
+    "Packet",
+    "Port",
+    "Process",
+    "Resource",
+    "Simulator",
+    "Store",
+    "Timeout",
+]

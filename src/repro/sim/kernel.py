@@ -1,0 +1,140 @@
+"""The discrete-event simulation kernel.
+
+:class:`Simulator` owns the event calendar (a binary heap keyed on simulated
+time) and drives processes.  Time is a ``float`` in **seconds**; hardware
+parameters elsewhere in the library are expressed in nanoseconds and
+converted at the edges (see :mod:`repro.hw.params`).
+
+The kernel is deliberately small and single-threaded: determinism is a design
+requirement (DESIGN.md §5.4).  Ties in the calendar are broken by insertion
+order, so two runs of the same experiment produce identical event orders.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, List, Optional, Tuple
+
+from repro.errors import SimulationError, StopSimulation
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Process, ProcessGenerator
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    strict:
+        If true (the default), an uncaught exception inside a process
+        aborts the whole simulation immediately instead of being stored on
+        the process event — surfacing protocol bugs loudly.
+    """
+
+    def __init__(self, strict: bool = True) -> None:
+        self._now: float = 0.0
+        self._queue: List[Tuple[float, int, Event]] = []
+        self._seq: int = 0
+        self._active_process: Optional[Process] = None
+        self.strict = strict
+
+    # -- time ---------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- event construction ---------------------------------------------------
+
+    def event(self, label: str = "") -> Event:
+        """Create a fresh untriggered event bound to this simulator."""
+        return Event(self, label=label)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that fires *delay* seconds from now."""
+        return Timeout(self, delay, value)
+
+    def all_of(self, events) -> AllOf:
+        """An event that fires once every event in *events* has fired."""
+        return AllOf(self, list(events))
+
+    def any_of(self, events) -> AnyOf:
+        """An event that fires when the first event in *events* fires."""
+        return AnyOf(self, list(events))
+
+    def spawn(self, generator: ProcessGenerator, name: str = "") -> Process:
+        """Start a new process running *generator* at the current time."""
+        return Process(self, generator, name=name)
+
+    # -- kernel plumbing ------------------------------------------------------
+
+    def _schedule_event(self, event: Event, delay: float = 0.0) -> None:
+        """Put *event* on the calendar to run its callbacks after *delay*."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, self._seq, event))
+
+    def _step(self) -> None:
+        """Process the next calendar entry."""
+        when, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        if isinstance(event, Timeout) and not event.triggered:
+            # Timeouts carry their value from construction; mark triggered so
+            # Event.value works, without re-scheduling.
+            pass
+        event._run_callbacks()
+
+    # -- running --------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the calendar empties or simulated time reaches *until*.
+
+        If *until* is given, time is advanced exactly to *until* when the
+        simulation is cut short, so back-to-back ``run`` calls see a
+        monotonic clock.
+        """
+        if until is not None and until < self._now:
+            raise SimulationError(
+                f"run(until={until}) is in the past (now={self._now})")
+        try:
+            while self._queue:
+                if until is not None and self._queue[0][0] > until:
+                    self._now = until
+                    return
+                self._step()
+        except StopSimulation:
+            return
+        if until is not None:
+            self._now = until
+
+    def run_until(self, event: Event) -> None:
+        """Run until *event* triggers (or the calendar drains)."""
+        while self._queue and not event.triggered:
+            self._step()
+
+    def run_process(self, generator: ProcessGenerator, name: str = "") -> Any:
+        """Spawn *generator*, run until it completes, and return its result.
+
+        Convenience wrapper used heavily in tests and examples: it stops as
+        soon as the process finishes (so ever-running background processes
+        such as heartbeats don't keep it spinning), raises the process's
+        exception if the process failed, and raises
+        :class:`SimulationError` if the calendar drained before the process
+        finished (i.e., the process deadlocked).
+        """
+        process = self.spawn(generator, name=name)
+        self.run_until(process)
+        if not process.triggered:
+            raise SimulationError(
+                f"process {process.name!r} did not finish: simulation "
+                "deadlocked with no scheduled events")
+        return process.value
+
+    def stop(self) -> None:
+        """Stop the simulation from inside a process callback."""
+        raise StopSimulation()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Simulator t={self._now:.3e} pending={len(self._queue)}>"

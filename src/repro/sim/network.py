@@ -1,0 +1,189 @@
+"""Network fabric: ports, links, mailboxes, and packet delivery.
+
+The model follows the paper's methodology (§VII, Table III): a message's
+end-to-end communication time is *serialization* (size / bandwidth, paid at
+the sending port, which is busy for that long plus an inter-message gap)
+plus a fixed *propagation latency*, after which the packet lands in the
+destination mailbox.  Egress serialization at a single port is what makes
+"the multiple INV messages in a transaction are sent one at a time"
+(paper §IV) costly, and what the broadcast hardware of MINOS-O removes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List
+
+from repro.errors import SimulationError
+from repro.sim.events import Event
+from repro.sim.kernel import Simulator
+from repro.sim.resources import Store
+
+_packet_ids = itertools.count()
+
+
+@dataclass
+class Packet:
+    """A message in flight.
+
+    ``payload`` is opaque to the network layer; the protocol layers put
+    :class:`repro.core.messages.Message` objects here.  ``size_bytes``
+    drives serialization time.  Timing fields are filled in by the port for
+    the metrics layer's communication/computation breakdown.
+    """
+
+    payload: Any
+    size_bytes: int
+    src: str
+    dst: str
+    kind: str = "data"
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    sent_at: float = -1.0
+    delivered_at: float = -1.0
+
+
+class Mailbox(Store):
+    """A named receive queue for packets."""
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        super().__init__(sim, label=name)
+        self.name = name
+
+
+class Port:
+    """A serializing egress port.
+
+    Packets queue behind each other: each occupies the port for
+    ``size / bandwidth`` seconds plus ``gap`` seconds before the next may
+    start.  Delivery into the destination mailbox happens ``latency``
+    seconds after serialization completes.
+
+    ``send_broadcast`` models MINOS-O's Message Broadcast Module: one
+    serialization, fan-out to every destination (paper §V-B.3).
+    """
+
+    def __init__(self, sim: Simulator, latency_s: float,
+                 bandwidth_bps: float, gap_s: float = 0.0,
+                 name: str = "") -> None:
+        if bandwidth_bps <= 0:
+            raise SimulationError(f"bandwidth must be positive: {bandwidth_bps}")
+        if latency_s < 0 or gap_s < 0:
+            raise SimulationError("latency and gap must be non-negative")
+        self.sim = sim
+        self.latency = latency_s
+        self.bandwidth = bandwidth_bps
+        self.gap = gap_s
+        self.name = name
+        self._busy_until = 0.0
+        self.packets_sent = 0
+        self.bytes_sent = 0
+
+    # -- internals ----------------------------------------------------------
+
+    def _claim(self, size_bytes: int) -> tuple[float, float]:
+        """Reserve the port; returns (serialization_done, wait)."""
+        now = self.sim.now
+        start = max(now, self._busy_until)
+        ser = size_bytes / self.bandwidth
+        done = start + ser
+        self._busy_until = done + self.gap
+        return done, done - now
+
+    def _deliver(self, packet: Packet, mailbox: Mailbox, when: float) -> None:
+        packet.delivered_at = when
+        event = self.sim.event(label=f"deliver:{packet.packet_id}")
+        event._value = packet
+        event.add_callback(lambda _e: mailbox.put(packet))
+        self.sim._schedule_event(event, when - self.sim.now)
+
+    # -- API ------------------------------------------------------------------
+
+    def send(self, packet: Packet, mailbox: Mailbox) -> Event:
+        """Transmit *packet* to *mailbox*.
+
+        Returns an event that fires when serialization at this port is done
+        (i.e., when the sender may consider the message handed off).
+        """
+        packet.sent_at = self.sim.now
+        done, wait = self._claim(packet.size_bytes)
+        self.packets_sent += 1
+        self.bytes_sent += packet.size_bytes
+        self._deliver(packet, mailbox, done + self.latency)
+        return self.sim.timeout(wait, value=packet)
+
+    def transfer(self, size_bytes: int) -> Event:
+        """Claim the port for a raw transfer (e.g. a DMA) with no mailbox
+        delivery; fires after serialization plus propagation latency."""
+        _done, wait = self._claim(size_bytes)
+        self.bytes_sent += size_bytes
+        return self.sim.timeout(wait + self.latency)
+
+    def send_broadcast(self, packets_and_boxes: Iterable[tuple[Packet, Mailbox]],
+                       size_bytes: int) -> Event:
+        """Transmit one message to many destinations with one serialization.
+
+        *packets_and_boxes* supplies a distinct :class:`Packet` per
+        destination (payloads may be shared), since delivery mutates packet
+        timing fields.
+        """
+        pairs = list(packets_and_boxes)
+        if not pairs:
+            raise SimulationError("broadcast with no destinations")
+        done, wait = self._claim(size_bytes)
+        self.packets_sent += 1
+        self.bytes_sent += size_bytes
+        for packet, mailbox in pairs:
+            packet.sent_at = self.sim.now
+            self._deliver(packet, mailbox, done + self.latency)
+        return self.sim.timeout(wait)
+
+
+class Network:
+    """A collection of named mailboxes plus per-endpoint egress ports.
+
+    The topology is a full mesh (every endpoint can reach every other), as
+    in the paper's cluster.  Endpoints are registered with their own egress
+    characteristics, so the host↔SmartNIC PCIe hop and the SNIC↔SNIC
+    network hop are just two Ports with different parameters.
+    """
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self._mailboxes: Dict[str, Mailbox] = {}
+        self._ports: Dict[str, Port] = {}
+
+    def add_endpoint(self, name: str, latency_s: float, bandwidth_bps: float,
+                     gap_s: float = 0.0) -> Mailbox:
+        """Register endpoint *name*; returns its receive mailbox."""
+        if name in self._mailboxes:
+            raise SimulationError(f"duplicate endpoint {name!r}")
+        mailbox = Mailbox(self.sim, name)
+        self._mailboxes[name] = mailbox
+        self._ports[name] = Port(self.sim, latency_s, bandwidth_bps,
+                                 gap_s, name=name)
+        return mailbox
+
+    def mailbox(self, name: str) -> Mailbox:
+        return self._mailboxes[name]
+
+    def port(self, name: str) -> Port:
+        return self._ports[name]
+
+    def endpoints(self) -> List[str]:
+        return list(self._mailboxes)
+
+    def send(self, src: str, dst: str, payload: Any, size_bytes: int,
+             kind: str = "data") -> Event:
+        """Send *payload* from *src* to *dst*; see :meth:`Port.send`."""
+        packet = Packet(payload=payload, size_bytes=size_bytes,
+                        src=src, dst=dst, kind=kind)
+        return self._ports[src].send(packet, self._mailboxes[dst])
+
+    def broadcast(self, src: str, dsts: Iterable[str], payload: Any,
+                  size_bytes: int, kind: str = "data") -> Event:
+        """Hardware broadcast from *src* to every endpoint in *dsts*."""
+        pairs = [(Packet(payload=payload, size_bytes=size_bytes, src=src,
+                         dst=dst, kind=kind), self._mailboxes[dst])
+                 for dst in dsts]
+        return self._ports[src].send_broadcast(pairs, size_bytes)

@@ -1,0 +1,87 @@
+"""Generator-based simulated processes.
+
+A process is a Python generator that yields :class:`~repro.sim.events.Event`
+objects.  Each yield suspends the process until the event triggers; the
+kernel then resumes the generator with the event's value (or throws the
+event's exception into it).  A :class:`Process` is itself an event that
+triggers when the generator returns, so processes can be joined with
+``yield other_process``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator
+
+from repro.errors import SimulationError
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+ProcessGenerator = Generator[Event, Any, Any]
+
+
+class Process(Event):
+    """A running simulated process wrapping a generator.
+
+    Triggers (as an event) with the generator's return value when the
+    generator finishes, or fails with the generator's uncaught exception.
+    """
+
+    __slots__ = ("generator", "name", "_waiting_on")
+
+    def __init__(self, sim: "Simulator", generator: ProcessGenerator,
+                 name: str = "") -> None:
+        if not hasattr(generator, "send"):
+            raise SimulationError(
+                f"Process requires a generator, got {type(generator).__name__}; "
+                "did you forget to call the process function?")
+        super().__init__(sim, label=name or getattr(generator, "__name__", "proc"))
+        self.generator = generator
+        self.name = self._label
+        self._waiting_on: Event | None = None
+        # Kick off the process at the current simulation time.
+        bootstrap = Event(sim, label=f"start:{self.name}")
+        bootstrap._value = None
+        bootstrap.add_callback(self._resume)
+        sim._schedule_event(bootstrap)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return not self.triggered
+
+    def _resume(self, trigger: Event) -> None:
+        """Advance the generator with the value/exception of *trigger*."""
+        self._waiting_on = None
+        sim = self.sim
+        sim._active_process = self
+        try:
+            if trigger.ok:
+                target = self.generator.send(trigger.value)
+            else:
+                target = self.generator.throw(trigger._exc)
+        except StopIteration as stop:
+            sim._active_process = None
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            sim._active_process = None
+            if sim.strict:
+                raise
+            self.fail(exc)
+            return
+        sim._active_process = None
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}; processes may "
+                "only yield Event instances")
+        if target.sim is not sim:
+            raise SimulationError(
+                f"process {self.name!r} yielded an event from another simulator")
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.triggered else "alive"
+        return f"<Process {self.name} {state}>"

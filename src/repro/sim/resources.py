@@ -1,0 +1,230 @@
+"""Synchronization and queueing primitives built on the event kernel.
+
+These are the building blocks the hardware and protocol layers use:
+
+* :class:`Gate` — a broadcast condition variable.  The paper's "spin until
+  glb_volatileTS advances" loops become ``yield gate.wait()`` in a
+  re-check loop (see :meth:`Gate.wait_for`).
+* :class:`Store` — an unbounded FIFO of items with blocking ``get``;
+  mailboxes and NIC receive queues are Stores.
+* :class:`BoundedBuffer` — a capacity-limited FIFO with blocking ``put``;
+  the SmartNIC's vFIFO/dFIFO are BoundedBuffers.
+* :class:`Resource` — a counted semaphore; host/SNIC cores are Resources.
+* :class:`Lock` — a single-holder mutex (used for the paper's WRLock).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, List
+
+from repro.errors import SimulationError
+from repro.sim.events import Event
+from repro.sim.kernel import Simulator
+
+
+class Gate:
+    """A broadcast condition: every waiter wakes when :meth:`fire` is called.
+
+    Unlike an :class:`Event`, a Gate can fire any number of times; each
+    :meth:`wait` call returns a fresh one-shot event tied to the *next*
+    firing.
+    """
+
+    __slots__ = ("sim", "_waiters", "label")
+
+    def __init__(self, sim: Simulator, label: str = "") -> None:
+        self.sim = sim
+        self.label = label
+        self._waiters: List[Event] = []
+
+    def wait(self) -> Event:
+        """An event that fires at the next :meth:`fire` call."""
+        event = self.sim.event(label=f"gate:{self.label}")
+        self._waiters.append(event)
+        return event
+
+    def fire(self, value: Any = None) -> int:
+        """Wake all current waiters; returns how many were woken."""
+        waiters, self._waiters = self._waiters, []
+        for event in waiters:
+            event.succeed(value)
+        return len(waiters)
+
+    def wait_for(self, predicate: Callable[[], bool]):
+        """Process helper: wait (re-checking on every firing) until
+        ``predicate()`` is true.  Returns a generator to be delegated to
+        with ``yield from``.
+        """
+        while not predicate():
+            yield self.wait()
+
+    @property
+    def waiter_count(self) -> int:
+        return len(self._waiters)
+
+
+class Store:
+    """An unbounded FIFO queue of items with blocking ``get``.
+
+    ``put`` never blocks.  Getters are served in FIFO order; if items are
+    available a ``get`` event triggers immediately (still delivered through
+    the calendar, preserving determinism).
+    """
+
+    __slots__ = ("sim", "_items", "_getters", "label")
+
+    def __init__(self, sim: Simulator, label: str = "") -> None:
+        self.sim = sim
+        self.label = label
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def put(self, item: Any) -> None:
+        """Deposit *item*; wakes the oldest waiting getter, if any."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """An event that fires with the next available item."""
+        event = self.sim.event(label=f"get:{self.label}")
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class BoundedBuffer:
+    """A FIFO with bounded capacity: ``put`` blocks while the buffer is full.
+
+    Models the SmartNIC's vFIFO and dFIFO queues (paper §V-B.4, Fig. 13
+    studies sensitivity to their size).  ``capacity=None`` means unbounded,
+    matching the paper's "unlimited number of FIFO entries" baseline.
+    """
+
+    __slots__ = ("sim", "capacity", "_items", "_getters", "_putters", "label")
+
+    def __init__(self, sim: Simulator, capacity: int | None,
+                 label: str = "") -> None:
+        if capacity is not None and capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.label = label
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple[Event, Any]] = deque()
+
+    @property
+    def is_full(self) -> bool:
+        return self.capacity is not None and len(self._items) >= self.capacity
+
+    def put(self, item: Any) -> Event:
+        """An event that fires once *item* has entered the buffer."""
+        event = self.sim.event(label=f"put:{self.label}")
+        if self._getters:
+            # Hand the item straight to the oldest waiting consumer.
+            self._getters.popleft().succeed(item)
+            event.succeed(None)
+        elif not self.is_full:
+            self._items.append(item)
+            event.succeed(None)
+        else:
+            self._putters.append((event, item))
+        return event
+
+    def get(self) -> Event:
+        """An event that fires with the oldest buffered item."""
+        event = self.sim.event(label=f"bget:{self.label}")
+        if self._items:
+            event.succeed(self._items.popleft())
+            self._admit_waiting_putter()
+        else:
+            self._getters.append(event)
+        return event
+
+    def _admit_waiting_putter(self) -> None:
+        if self._putters and not self.is_full:
+            putter, item = self._putters.popleft()
+            self._items.append(item)
+            putter.succeed(None)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class Resource:
+    """A counted resource (semaphore) with FIFO admission.
+
+    Used for CPU cores: a request blocks until one of ``capacity`` slots is
+    free.  Use :meth:`request` / :meth:`release` from process code.
+    """
+
+    __slots__ = ("sim", "capacity", "_in_use", "_waiters", "label")
+
+    def __init__(self, sim: Simulator, capacity: int, label: str = "") -> None:
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.label = label
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self._in_use
+
+    def request(self) -> Event:
+        """An event that fires once a slot has been granted."""
+        event = self.sim.event(label=f"req:{self.label}")
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            event.succeed(None)
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        """Return a slot; grants it to the oldest waiter if any."""
+        if self._in_use <= 0:
+            raise SimulationError(f"release() of idle resource {self.label!r}")
+        if self._waiters:
+            # Slot passes directly to the next waiter; _in_use unchanged.
+            self._waiters.popleft().succeed(None)
+        else:
+            self._in_use -= 1
+
+
+class Lock:
+    """A single-holder mutual-exclusion lock (the paper's WRLock).
+
+    Built on :class:`Resource` with capacity one; provided as its own type
+    so protocol code reads like the pseudo-code ("grab the WRLock").
+    """
+
+    __slots__ = ("_resource",)
+
+    def __init__(self, sim: Simulator, label: str = "") -> None:
+        self._resource = Resource(sim, 1, label=label)
+
+    @property
+    def held(self) -> bool:
+        return self._resource.in_use > 0
+
+    def acquire(self) -> Event:
+        """An event that fires once the lock is held by the caller."""
+        return self._resource.request()
+
+    def release(self) -> None:
+        self._resource.release()

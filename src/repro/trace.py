@@ -1,0 +1,97 @@
+"""Protocol event tracing.
+
+A :class:`Tracer` collects timestamped protocol events (write lifecycle,
+message sends/receipts, persists, FIFO activity) from every engine in a
+cluster.  It is off by default — engines call :meth:`Tracer.emit` through
+a no-op shim unless a tracer is attached — and is used by the
+``trace_transaction`` example, the CLI's ``trace`` command, and tests
+that assert protocol step ordering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded protocol event."""
+
+    time: float
+    node: int
+    category: str
+    label: str
+    details: tuple = ()
+
+    @property
+    def time_us(self) -> float:
+        return self.time * 1e6
+
+    def detail(self, key: str, default: Any = None) -> Any:
+        for name, value in self.details:
+            if name == key:
+                return value
+        return default
+
+    def __str__(self) -> str:
+        extra = " ".join(f"{k}={v}" for k, v in self.details)
+        return (f"[{self.time_us:10.3f}us] n{self.node} "
+                f"{self.category:<9s} {self.label}" +
+                (f" ({extra})" if extra else ""))
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` records from a simulation run."""
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+        self.events: List[TraceEvent] = []
+
+    def emit(self, node: int, category: str, label: str, **details) -> None:
+        self.events.append(TraceEvent(
+            time=self.sim.now, node=node, category=category, label=label,
+            details=tuple(sorted(details.items()))))
+
+    # -- querying -----------------------------------------------------------
+
+    def select(self, category: Optional[str] = None,
+               node: Optional[int] = None,
+               label_contains: Optional[str] = None) -> List[TraceEvent]:
+        out = self.events
+        if category is not None:
+            out = [e for e in out if e.category == category]
+        if node is not None:
+            out = [e for e in out if e.node == node]
+        if label_contains is not None:
+            out = [e for e in out if label_contains in e.label]
+        return list(out)
+
+    def categories(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            counts[event.category] = counts.get(event.category, 0) + 1
+        return counts
+
+    # -- rendering ------------------------------------------------------------
+
+    def timeline(self, events: Optional[Iterable[TraceEvent]] = None) -> str:
+        """A per-node swim-lane rendering of the selected events."""
+        chosen = sorted(events if events is not None else self.events,
+                        key=lambda e: (e.time, e.node))
+        if not chosen:
+            return "(no events)"
+        nodes = sorted({e.node for e in chosen})
+        lane = {n: i for i, n in enumerate(nodes)}
+        header = f"{'time (us)':>12s}  " + "  ".join(
+            f"{'node ' + str(n):<24s}" for n in nodes)
+        lines = [header, "-" * len(header)]
+        for event in chosen:
+            cells = [" " * 24] * len(nodes)
+            text = f"{event.category}:{event.label}"[:24]
+            cells[lane[event.node]] = f"{text:<24s}"
+            lines.append(f"{event.time_us:12.3f}  " + "  ".join(cells))
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.events)

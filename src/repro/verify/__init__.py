@@ -1,0 +1,16 @@
+"""Protocol verification: explicit-state model checking (paper §VI)."""
+
+from repro.verify.checker import CheckResult, ModelChecker, Violation
+from repro.verify.invariants import table1_invariants
+from repro.verify.runtime import RuntimeMonitor
+from repro.verify.spec import ProtocolSpec, WriteDef
+
+__all__ = [
+    "CheckResult",
+    "ModelChecker",
+    "ProtocolSpec",
+    "RuntimeMonitor",
+    "Violation",
+    "WriteDef",
+    "table1_invariants",
+]

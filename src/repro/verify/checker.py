@@ -1,0 +1,156 @@
+"""A generic explicit-state model checker (TLC substitute, paper §VI).
+
+:class:`ModelChecker` explores the full state graph of a
+:class:`Spec` by breadth-first search, checking invariants in every
+reachable state, detecting deadlocks (a non-terminal state with no enabled
+action), and detecting livelocks (a reachable state from which no terminal
+state is reachable).  Counterexamples are reported as action-labelled
+traces from an initial state.
+
+Specs provide:
+
+* ``initial_states()`` — iterable of hashable states;
+* ``actions(state)`` — iterable of ``(label, next_state)`` pairs;
+* ``invariants`` — iterable of ``(name, predicate)`` pairs;
+* ``is_terminal(state)`` — whether the state is an intended end state.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import VerificationError
+
+
+@dataclass
+class Violation:
+    """An invariant violation (or deadlock/livelock) with its trace."""
+
+    kind: str  # "invariant" | "deadlock" | "livelock"
+    name: str
+    state: Any
+    trace: Tuple[str, ...]
+
+    def __str__(self) -> str:
+        steps = " -> ".join(self.trace) or "<initial>"
+        return f"{self.kind} '{self.name}' after: {steps}"
+
+
+@dataclass
+class CheckResult:
+    """Outcome of a model-checking run."""
+
+    states: int
+    transitions: int
+    terminal_states: int
+    violations: List[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def raise_on_violation(self) -> "CheckResult":
+        if self.violations:
+            first = self.violations[0]
+            raise VerificationError(str(first), trace=first.trace)
+        return self
+
+    def __str__(self) -> str:
+        status = "OK" if self.ok else f"{len(self.violations)} violation(s)"
+        return (f"CheckResult({status}, states={self.states}, "
+                f"transitions={self.transitions}, "
+                f"terminal={self.terminal_states})")
+
+
+class ModelChecker:
+    """Breadth-first explicit-state exploration with invariant checking."""
+
+    def __init__(self, spec, max_states: int = 2_000_000,
+                 stop_at_first: bool = True) -> None:
+        self.spec = spec
+        self.max_states = max_states
+        self.stop_at_first = stop_at_first
+
+    def check(self) -> CheckResult:
+        spec = self.spec
+        invariants = list(spec.invariants)
+        # predecessor map for trace reconstruction:
+        # state -> (previous_state, action_label)
+        parent: Dict[Any, Optional[Tuple[Any, str]]] = {}
+        queue: deque = deque()
+        violations: List[Violation] = []
+        transitions = 0
+        terminal = 0
+        successors: Dict[Any, int] = {}
+
+        def trace_of(state: Any) -> Tuple[str, ...]:
+            labels: List[str] = []
+            cursor = state
+            while parent[cursor] is not None:
+                cursor, label = parent[cursor]  # type: ignore[misc]
+                labels.append(label)
+            return tuple(reversed(labels))
+
+        def note(kind: str, name: str, state: Any) -> bool:
+            violations.append(Violation(kind, name, state, trace_of(state)))
+            return self.stop_at_first
+
+        for state in spec.initial_states():
+            if state not in parent:
+                parent[state] = None
+                queue.append(state)
+
+        while queue:
+            state = queue.popleft()
+            for name, predicate in invariants:
+                if not predicate(state):
+                    if note("invariant", name, state):
+                        return CheckResult(len(parent), transitions,
+                                           terminal, violations)
+            enabled = 0
+            for label, next_state in spec.actions(state):
+                enabled += 1
+                transitions += 1
+                if next_state not in parent:
+                    if len(parent) >= self.max_states:
+                        raise VerificationError(
+                            f"state space exceeded max_states="
+                            f"{self.max_states}")
+                    parent[next_state] = (state, label)
+                    queue.append(next_state)
+            successors[state] = enabled
+            if spec.is_terminal(state):
+                terminal += 1
+            elif enabled == 0:
+                if note("deadlock", "no enabled action", state):
+                    return CheckResult(len(parent), transitions, terminal,
+                                       violations)
+
+        # Livelock: a reachable state from which no terminal state is
+        # reachable.  Compute co-reachability of terminal states over the
+        # (already materialized) state graph.  No terminal state at all is
+        # the degenerate case: nothing can ever finish.
+        if terminal == 0 and not violations:
+            for state in spec.initial_states():
+                note("livelock", "no terminal state reachable", state)
+                break
+        if terminal:
+            reverse: Dict[Any, List[Any]] = {}
+            for state in parent:
+                for _label, nxt in spec.actions(state):
+                    reverse.setdefault(nxt, []).append(state)
+            can_finish = set()
+            stack = [s for s in parent if spec.is_terminal(s)]
+            while stack:
+                state = stack.pop()
+                if state in can_finish:
+                    continue
+                can_finish.add(state)
+                stack.extend(reverse.get(state, ()))
+            for state in parent:
+                if state not in can_finish:
+                    if note("livelock", "terminal state unreachable", state):
+                        break
+        return CheckResult(len(parent), transitions, terminal, violations)

@@ -1,0 +1,118 @@
+"""Runtime invariant monitoring of *real* engine executions.
+
+:mod:`repro.verify.spec` model-checks an abstract protocol; this module
+closes the loop by checking the same classes of conditions against the
+concrete engines while (or after) a simulation runs.  Use it in tests and
+long experiments as an executable safety net::
+
+    monitor = RuntimeMonitor(cluster)
+    cluster.run_workload(...)
+    monitor.check_quiescent()      # raises VerificationError on violation
+
+Checked conditions (the runtime analogues of Table I):
+
+* **agreement** — at quiescence every replica holds the same volatileTS,
+  glb_volatileTS, glb_durableTS, and value for every key (2a/3a);
+* **glb-not-ahead** — at any sampling point, no replica's glb_volatileTS
+  exceeds its own volatileTS, and glb_durableTS never exceeds
+  glb_volatileTS for the Lin models that track both (2c/3b in spirit);
+* **locks-released** — no RDLock is still held at quiescence (liveness);
+* **durability** — at quiescence, each replica's durable image matches
+  its volatile image for every key the protocol touched.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.timestamp import INITIAL_TS
+from repro.errors import VerificationError
+
+
+class RuntimeMonitor:
+    """Invariant checks over a live :class:`~repro.cluster.MinosCluster`."""
+
+    def __init__(self, cluster) -> None:
+        self.cluster = cluster
+        self.checks_run = 0
+
+    # -- helpers -------------------------------------------------------------
+
+    def _keys(self) -> List:
+        keys = set()
+        for node in self.cluster.nodes:
+            keys.update(node.kv.metadata.keys())
+        return sorted(keys, key=str)
+
+    def _fail(self, message: str) -> None:
+        raise VerificationError(f"runtime invariant violated: {message}")
+
+    # -- any-time checks ---------------------------------------------------------
+
+    def check_glb_not_ahead(self) -> None:
+        """glb timestamps never run ahead of what the node itself has
+        applied — safe to call at any simulation instant."""
+        self.checks_run += 1
+        for node in self.cluster.nodes:
+            for key in node.kv.metadata.keys():
+                meta = node.kv.meta(key)
+                if meta.glb_volatile_ts > meta.volatile_ts:
+                    self._fail(
+                        f"n{node.node_id} key={key!r}: glb_volatileTS "
+                        f"{meta.glb_volatile_ts} ahead of volatileTS "
+                        f"{meta.volatile_ts}")
+
+    # -- quiescence checks ----------------------------------------------------------
+
+    def check_agreement(self) -> None:
+        """All replicas agree on every key's metadata and value."""
+        self.checks_run += 1
+        nodes = self.cluster.nodes
+        for key in self._keys():
+            reference = nodes[0].kv.meta(key)
+            ref_value = nodes[0].kv.volatile_read(key)
+            for node in nodes[1:]:
+                meta = node.kv.meta(key)
+                if meta.volatile_ts != reference.volatile_ts:
+                    self._fail(f"volatileTS disagreement on {key!r}: "
+                               f"n0={reference.volatile_ts} "
+                               f"n{node.node_id}={meta.volatile_ts}")
+                if meta.glb_volatile_ts != reference.glb_volatile_ts:
+                    self._fail(f"glb_volatileTS disagreement on {key!r}")
+                if meta.glb_durable_ts != reference.glb_durable_ts:
+                    self._fail(f"glb_durableTS disagreement on {key!r}")
+                value = node.kv.volatile_read(key)
+                if (ref_value is None) != (value is None) or (
+                        value is not None and
+                        value.value != ref_value.value):
+                    self._fail(f"value disagreement on {key!r}")
+
+    def check_locks_released(self) -> None:
+        """No RDLock may outlive its transaction."""
+        self.checks_run += 1
+        for node in self.cluster.nodes:
+            for key in node.kv.metadata.keys():
+                if not node.kv.meta(key).rdlock_free:
+                    self._fail(f"n{node.node_id} still holds the RDLock "
+                               f"of {key!r} at quiescence")
+
+    def check_durability(self) -> None:
+        """Durable state caught up with volatile state for touched keys."""
+        self.checks_run += 1
+        for node in self.cluster.nodes:
+            for key in node.kv.metadata.keys():
+                versioned = node.kv.volatile_read(key)
+                if versioned is None or versioned.ts == INITIAL_TS:
+                    continue  # never written through the protocol
+                durable = node.kv.durable_value(key)
+                if durable != versioned.value:
+                    self._fail(
+                        f"n{node.node_id} key={key!r}: durable "
+                        f"{durable!r} != volatile {versioned.value!r}")
+
+    def check_quiescent(self) -> None:
+        """Run every check that assumes a drained simulation."""
+        self.check_glb_not_ahead()
+        self.check_agreement()
+        self.check_locks_released()
+        self.check_durability()

@@ -1,0 +1,28 @@
+"""Workload generation: YCSB-style streams and DeathStar microservices."""
+
+from repro.workloads.deathstar import (CLIENT_RTT, DEATHSTAR_FUNCTIONS,
+                                       MEDIA_LOGIN, SOCIAL_LOGIN,
+                                       MicroserviceFunction)
+from repro.workloads.trace import TraceWorkload, parse_trace
+from repro.workloads.ycsb import Op, OpKind, YcsbWorkload, record_key
+from repro.workloads.zipfian import (ScrambledZipfian, UniformGenerator,
+                                     ZipfianGenerator, make_generator, zeta)
+
+__all__ = [
+    "CLIENT_RTT",
+    "DEATHSTAR_FUNCTIONS",
+    "MEDIA_LOGIN",
+    "MicroserviceFunction",
+    "Op",
+    "OpKind",
+    "SOCIAL_LOGIN",
+    "ScrambledZipfian",
+    "TraceWorkload",
+    "UniformGenerator",
+    "parse_trace",
+    "YcsbWorkload",
+    "ZipfianGenerator",
+    "make_generator",
+    "record_key",
+    "zeta",
+]

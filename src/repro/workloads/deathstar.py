@@ -1,0 +1,97 @@
+"""DeathStarBench-style microservice functions (paper §VIII-C).
+
+The paper evaluates the *Login* function of the *UserService* microservice
+in the *Social Network* and *Media Microservices* applications: "In each
+SET and GET operation, we invoke our client-write and client-read
+algorithm", with a 500 µs node-to-node round-trip between the caller and
+the service tier, on a 16-node cluster.
+
+We model each function as its storage-operation sequence (CALIBRATED: the
+exact per-function op counts are not in the paper; these are plausible
+Login flows — credential lookups, session creation, login bookkeeping —
+sized so storage time is a significant share of the end-to-end latency,
+as the paper's 35 % average reduction implies).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.hw.params import us
+from repro.workloads.ycsb import Op, OpKind
+
+#: Datacenter round-trip between the client and the service (paper §VIII-C).
+CLIENT_RTT = us(500)
+
+
+@dataclass(frozen=True)
+class MicroserviceFunction:
+    """A named function: a client RTT plus a storage op sequence template.
+
+    Each template element is ``("get", table)`` or ``("set", table)``,
+    optionally with a third ``"global"`` marker: per-user entries address
+    a record derived from the invocation's user id, while global entries
+    address one shared record (service-wide counters and stats — the
+    contended state that makes UserService storage time matter).
+    """
+
+    name: str
+    application: str
+    ops: Tuple[tuple, ...]
+    users: int = 40
+
+    def _key(self, action_table, user: int) -> str:
+        table = action_table[1]
+        if len(action_table) > 2 and action_table[2] == "global":
+            return f"{self.application}:{table}"
+        return f"{self.application}:{table}:{user}"
+
+    def invocation(self, rng: random.Random) -> List[Op]:
+        """The storage ops of one invocation (for a random user)."""
+        user = rng.randrange(self.users)
+        result: List[Op] = []
+        for entry in self.ops:
+            key = self._key(entry, user)
+            if entry[0] == "get":
+                result.append(Op(OpKind.READ, key=key))
+            else:
+                result.append(Op(OpKind.WRITE, key=key,
+                                 value=f"{entry[1]}-{user}"))
+        return result
+
+    def initial_records(self):
+        seen = set()
+        for entry in self.ops:
+            for user in range(self.users):
+                key = self._key(entry, user)
+                if key not in seen:
+                    seen.add(key)
+                    yield key, f"init-{entry[1]}"
+
+
+#: Login in the Social Network application: look up the account and its
+#: credentials, validate, create a session, record the login.
+SOCIAL_LOGIN = MicroserviceFunction(
+    name="Login",
+    application="social",
+    ops=(("get", "user"), ("get", "credentials"), ("get", "salt"),
+         ("set", "session"), ("get", "profile"), ("set", "last_login"),
+         ("set", "login_count"), ("set", "stats:daily_logins", "global"),
+         ("set", "stats:active_users", "global")),
+)
+
+#: Login in the Media Microservices application: additionally touches the
+#: subscription/plan state and the device registry.
+MEDIA_LOGIN = MicroserviceFunction(
+    name="Login",
+    application="media",
+    ops=(("get", "user"), ("get", "credentials"), ("get", "plan"),
+         ("get", "devices"), ("set", "session"), ("get", "watchlist"),
+         ("set", "device_token"), ("set", "last_login"),
+         ("set", "login_count"), ("set", "stats:daily_logins", "global"),
+         ("set", "stats:stream_quota", "global")),
+)
+
+DEATHSTAR_FUNCTIONS = (SOCIAL_LOGIN, MEDIA_LOGIN)

@@ -1,0 +1,114 @@
+"""Explicit operation traces as workloads.
+
+A :class:`TraceWorkload` replays a fixed list of operations per client —
+useful for regression tests, debugging protocol corner cases, and replaying
+externally captured request logs.  Traces can be built programmatically or
+parsed from a small text format::
+
+    # comments and blank lines are ignored
+    init user1 hello          # pre-populate every replica
+    0 w user1 v1              # node 0, client 0: write
+    1 r user1                 # node 1, client 0: read
+    2.1 w user1 v2            # node 2, client 1: write
+    0 p 7                     # node 0: [PERSIST]sc for scope 7
+
+Writes inside a ⟨Lin, Scope⟩ run may carry a scope with ``w@<scope>``::
+
+    0 w@7 user1 v1
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+from repro.errors import ConfigError
+from repro.workloads.ycsb import Op, OpKind
+
+ClientId = Tuple[int, int]  # (node, client index)
+
+
+@dataclass
+class TraceWorkload:
+    """A workload that replays explicit per-client op lists."""
+
+    ops: Dict[ClientId, List[Op]] = field(default_factory=dict)
+    records: List[Tuple[str, str]] = field(default_factory=list)
+
+    # -- construction ------------------------------------------------------
+
+    def add_record(self, key: str, value: str) -> "TraceWorkload":
+        self.records.append((key, value))
+        return self
+
+    def add(self, node: int, op: Op, client: int = 0) -> "TraceWorkload":
+        self.ops.setdefault((node, client), []).append(op)
+        return self
+
+    def write(self, node: int, key: str, value: str, client: int = 0,
+              scope: int | None = None) -> "TraceWorkload":
+        return self.add(node, Op(OpKind.WRITE, key=key, value=value,
+                                 scope=scope), client)
+
+    def read(self, node: int, key: str, client: int = 0) -> "TraceWorkload":
+        return self.add(node, Op(OpKind.READ, key=key), client)
+
+    def persist(self, node: int, scope: int,
+                client: int = 0) -> "TraceWorkload":
+        return self.add(node, Op(OpKind.PERSIST, scope=scope), client)
+
+    # -- the workload protocol used by MinosCluster.run_workload -----------------
+
+    def initial_records(self) -> Iterator[Tuple[str, str]]:
+        return iter(self.records)
+
+    def ops_for(self, node_id: int, client_idx: int) -> Iterator[Op]:
+        return iter(self.ops.get((node_id, client_idx), ()))
+
+    @property
+    def max_clients(self) -> int:
+        """Clients-per-node needed to replay every op in the trace."""
+        if not self.ops:
+            return 1
+        return max(client for _node, client in self.ops) + 1
+
+    def __len__(self) -> int:
+        return sum(len(ops) for ops in self.ops.values())
+
+
+def parse_trace(text: str) -> TraceWorkload:
+    """Parse the textual trace format (see the module docstring)."""
+    workload = TraceWorkload()
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        fields = line.split()
+        try:
+            if fields[0] == "init":
+                _kw, key, value = fields
+                workload.add_record(key, value)
+                continue
+            where, action = fields[0], fields[1]
+            if "." in where:
+                node_text, client_text = where.split(".", 1)
+                node, client = int(node_text), int(client_text)
+            else:
+                node, client = int(where), 0
+            scope = None
+            if action.startswith("w@"):
+                scope = int(action[2:])
+                action = "w"
+            if action == "w":
+                workload.write(node, fields[2], fields[3], client=client,
+                               scope=scope)
+            elif action == "r":
+                workload.read(node, fields[2], client=client)
+            elif action == "p":
+                workload.persist(node, int(fields[2]), client=client)
+            else:
+                raise ValueError(f"unknown action {action!r}")
+        except (ValueError, IndexError) as exc:
+            raise ConfigError(
+                f"trace line {lineno}: cannot parse {raw!r} ({exc})")
+    return workload

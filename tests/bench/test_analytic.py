@@ -1,0 +1,53 @@
+"""Calibration cross-check: analytic model vs simulated latency (§VII).
+
+The paper validates that MINOS-B behaves the same on the real machine and
+the simulator; we validate that our simulator agrees with a closed-form
+model of the same critical path.  A drift beyond tolerance means someone
+changed the engines or the hardware model without updating the other.
+"""
+
+import pytest
+
+from repro import LIN_SYNCH, MINOS_B, MINOS_O, MinosCluster
+from repro.bench.analytic import baseline_synch_write, offload_synch_write
+from repro.hw.params import DEFAULT_MACHINE, MachineParams
+
+
+def simulated_write_latency(config, nodes=5):
+    cluster = MinosCluster(model=LIN_SYNCH, config=config,
+                           params=MachineParams(nodes=nodes))
+    cluster.load_records([("k", "v0")])
+    return cluster.write(0, "k", "v1").latency
+
+
+class TestCalibration:
+    def test_baseline_matches_analytic(self):
+        predicted = baseline_synch_write(DEFAULT_MACHINE).total
+        simulated = simulated_write_latency(MINOS_B)
+        assert simulated == pytest.approx(predicted, rel=0.20)
+
+    def test_offload_matches_analytic(self):
+        predicted = offload_synch_write(DEFAULT_MACHINE).total
+        simulated = simulated_write_latency(MINOS_O)
+        assert simulated == pytest.approx(predicted, rel=0.20)
+
+    @pytest.mark.parametrize("nodes", [2, 4, 8])
+    def test_baseline_scaling_matches_analytic(self, nodes):
+        machine = MachineParams(nodes=nodes)
+        predicted = baseline_synch_write(machine).total
+        simulated = simulated_write_latency(MINOS_B, nodes=nodes)
+        assert simulated == pytest.approx(predicted, rel=0.25)
+
+    def test_analytic_predicts_offload_advantage(self):
+        b = baseline_synch_write(DEFAULT_MACHINE).total
+        o = offload_synch_write(DEFAULT_MACHINE).total
+        assert o < b
+
+    def test_estimate_exposes_terms(self):
+        estimate = baseline_synch_write(DEFAULT_MACHINE)
+        names = [name for name, _v in estimate.terms]
+        assert names == ["prologue", "inv_fanout", "follower",
+                         "ack_return", "epilogue"]
+        assert estimate.total == pytest.approx(
+            sum(v for _n, v in estimate.terms))
+        assert "us" in str(estimate)

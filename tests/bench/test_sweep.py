@@ -1,0 +1,82 @@
+"""Tests for the parameter-sweep API."""
+
+import pytest
+
+from repro.bench.harness import ExperimentConfig
+from repro.bench.sweep import Sweep, parse_axis
+from repro.core.config import MINOS_B, MINOS_O
+from repro.errors import ConfigError
+from repro.hw.params import ns
+
+
+def small_base():
+    return ExperimentConfig(records=30, requests_per_client=10,
+                            clients_per_node=1, nodes=3)
+
+
+class TestConstruction:
+    def test_points_are_cartesian_product(self):
+        sweep = Sweep(small_base(), axes={"nodes": [2, 4],
+                                          "write_fraction": [0.2, 0.8]})
+        points = sweep.points()
+        assert len(points) == 4
+        assert {"nodes": 2, "write_fraction": 0.8} in points
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ConfigError, match="unknown sweep axis"):
+            Sweep(small_base(), axes={"warp_factor": [9]})
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ConfigError):
+            Sweep(small_base(), axes={})
+        with pytest.raises(ConfigError):
+            Sweep(small_base(), axes={"nodes": []})
+
+    def test_machine_axes_rewrite_machine(self):
+        sweep = Sweep(small_base(), axes={"persist_latency": [ns(100)],
+                                          "fifo_entries": [None]})
+        config = sweep.config_for(sweep.points()[0])
+        assert config.machine.host.nvm_persist_per_kb == pytest.approx(
+            ns(100))
+        assert config.machine.snic.vfifo_entries is None
+
+    def test_string_values_coerced(self):
+        sweep = Sweep(small_base(), axes={"config": ["MINOS-O"],
+                                          "model": ["strict"]})
+        config = sweep.config_for(sweep.points()[0])
+        assert config.config is MINOS_O
+        assert config.model.name == "<Lin, Strict>"
+
+
+class TestRun:
+    def test_rows_carry_axis_values_and_metrics(self):
+        sweep = Sweep(small_base(), axes={"config": [MINOS_B, MINOS_O]})
+        rows = sweep.run()
+        assert [r["config"] for r in rows] == ["MINOS-B", "MINOS-O"]
+        for row in rows:
+            assert row["wlat_us"] > 0 and row["wtput_kops"] > 0
+
+    def test_none_rendered_as_unlimited(self):
+        sweep = Sweep(small_base(),
+                      axes={"fifo_entries": [None],
+                            "config": [MINOS_O]})
+        rows = sweep.run()
+        assert rows[0]["fifo_entries"] == "unlimited"
+
+
+class TestParseAxis:
+    def test_numeric_coercion(self):
+        assert parse_axis("nodes=2,4,8") == ("nodes", [2, 4, 8])
+        assert parse_axis("write_fraction=0.2,0.8") == \
+            ("write_fraction", [0.2, 0.8])
+
+    def test_strings_and_unlimited(self):
+        name, values = parse_axis("config=MINOS-B,MINOS-O")
+        assert values == ["MINOS-B", "MINOS-O"]
+        assert parse_axis("fifo_entries=unlimited")[1] == [None]
+
+    def test_errors(self):
+        with pytest.raises(ConfigError):
+            parse_axis("no-equals-sign")
+        with pytest.raises(ConfigError):
+            parse_axis("nodes=")

@@ -1,0 +1,70 @@
+"""Tests for cluster assembly and workload execution."""
+
+import pytest
+
+from repro import (LIN_SYNCH, MINOS_B, MINOS_O, MinosCluster, YcsbWorkload)
+from repro.errors import ConfigError
+from repro.hw.params import MachineParams
+
+
+class TestAssembly:
+    def test_baseline_nodes_have_nics(self):
+        c = MinosCluster(config=MINOS_B)
+        assert len(c.nodes) == 5
+        for node in c.nodes:
+            assert node.nic is not None and node.snic is None
+
+    def test_offload_nodes_have_smartnics(self):
+        c = MinosCluster(config=MINOS_O)
+        for node in c.nodes:
+            assert node.snic is not None and node.nic is None
+            assert node.snic.batching and node.snic.broadcast
+
+    def test_custom_node_count(self):
+        c = MinosCluster(params=MachineParams(nodes=8))
+        assert len(c.nodes) == 8
+
+    def test_load_records_replicates(self):
+        c = MinosCluster()
+        count = c.load_records([("a", 1), ("b", 2)])
+        assert count == 2
+        for node in c.nodes:
+            assert node.kv.volatile_read("a").value == 1
+
+
+class TestWorkloadExecution:
+    @pytest.mark.parametrize("config", [MINOS_B, MINOS_O],
+                             ids=lambda c: c.name)
+    def test_all_requests_complete(self, config):
+        c = MinosCluster(model=LIN_SYNCH, config=config,
+                         params=MachineParams(nodes=3))
+        wl = YcsbWorkload(records=50, requests_per_client=20,
+                          write_fraction=0.5, seed=3)
+        metrics = c.run_workload(wl, clients_per_node=2)
+        total = (metrics.counters.writes_completed +
+                 metrics.counters.writes_obsolete +
+                 metrics.counters.reads_completed)
+        assert total == 3 * 2 * 20
+        assert metrics.duration > 0
+        assert metrics.write_throughput() > 0
+
+    def test_clients_validated(self):
+        c = MinosCluster()
+        with pytest.raises(ConfigError):
+            c.run_workload(YcsbWorkload(records=5), clients_per_node=0)
+
+    def test_subset_of_nodes(self):
+        c = MinosCluster(params=MachineParams(nodes=4))
+        wl = YcsbWorkload(records=20, requests_per_client=10,
+                          write_fraction=0.0)
+        metrics = c.run_workload(wl, clients_per_node=1, nodes=[0, 1])
+        assert metrics.counters.reads_completed == 2 * 10
+
+
+class TestCrashApi:
+    def test_crash_and_restore_flags(self):
+        c = MinosCluster(params=MachineParams(nodes=2))
+        c.crash(1)
+        assert c.nodes[1].engine.crashed
+        c.restore(1)
+        assert not c.nodes[1].engine.crashed

@@ -1,0 +1,74 @@
+"""Tests for open-loop (Poisson-arrival) load generation."""
+
+import pytest
+
+from repro import LIN_SYNCH, MINOS_B, MINOS_O, MinosCluster, YcsbWorkload
+from repro.cluster.client import OpenLoopClient
+from repro.errors import ConfigError
+from repro.hw.params import MachineParams
+
+
+def small_workload(**kwargs):
+    defaults = dict(records=50, requests_per_client=30, write_fraction=0.5,
+                    seed=9)
+    defaults.update(kwargs)
+    return YcsbWorkload(**defaults)
+
+
+class TestOpenLoopClient:
+    def test_rate_validated(self):
+        cluster = MinosCluster(params=MachineParams(nodes=2))
+        with pytest.raises(ConfigError):
+            OpenLoopClient(cluster, cluster.nodes[0].engine, iter(()),
+                           rate_ops_per_sec=0)
+
+    def test_all_issued_ops_complete(self):
+        cluster = MinosCluster(model=LIN_SYNCH, config=MINOS_B,
+                               params=MachineParams(nodes=3))
+        metrics = cluster.run_open_loop(small_workload(),
+                                        rate_per_client=100_000,
+                                        clients_per_node=2)
+        total = (metrics.counters.writes_completed +
+                 metrics.counters.writes_obsolete +
+                 metrics.counters.reads_completed)
+        assert total == 3 * 2 * 30
+
+    def test_overload_inflates_latency(self):
+        """Past saturation, open-loop latency includes queueing delay —
+        the behaviour closed-loop clients cannot exhibit."""
+        def mean_wlat(rate):
+            cluster = MinosCluster(model=LIN_SYNCH, config=MINOS_B,
+                                   params=MachineParams(nodes=3))
+            metrics = cluster.run_open_loop(
+                small_workload(write_fraction=1.0),
+                rate_per_client=rate, clients_per_node=2)
+            return metrics.write_latency.summary().mean
+
+        assert mean_wlat(600_000) > mean_wlat(20_000) * 1.3
+
+    def test_low_rate_matches_unloaded_latency(self):
+        """At negligible offered load, each op runs in isolation."""
+        cluster = MinosCluster(model=LIN_SYNCH, config=MINOS_B,
+                               params=MachineParams(nodes=3))
+        metrics = cluster.run_open_loop(small_workload(),
+                                        rate_per_client=1_000,
+                                        clients_per_node=1)
+        unloaded = MinosCluster(model=LIN_SYNCH, config=MINOS_B,
+                                params=MachineParams(nodes=3))
+        unloaded.load_records([("user0", "v")])
+        single = unloaded.write(0, "user0", "x")
+        assert metrics.write_latency.summary().mean == pytest.approx(
+            single.latency, rel=0.35)
+
+    def test_offload_sustains_higher_offered_load(self):
+        """At an offered load past MINOS-B's knee, O's latency is far
+        lower (the Fig. 9 throughput story, open-loop edition)."""
+        def mean_wlat(config):
+            cluster = MinosCluster(model=LIN_SYNCH, config=config,
+                                   params=MachineParams(nodes=3))
+            metrics = cluster.run_open_loop(
+                small_workload(write_fraction=1.0),
+                rate_per_client=300_000, clients_per_node=2)
+            return metrics.write_latency.summary().mean
+
+        assert mean_wlat(MINOS_O) < mean_wlat(MINOS_B) * 0.7

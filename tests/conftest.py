@@ -1,0 +1,8 @@
+"""Shared pytest configuration."""
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: long-running end-to-end tests")

@@ -1,0 +1,33 @@
+"""Tests for protocol configuration presets (Fig. 12 ablations)."""
+
+import pytest
+
+from repro.core.config import (ABLATION_CONFIGS, B_BATCHING, B_BROADCAST,
+                               COMBINED, COMBINED_BATCHING, MINOS_B,
+                               MINOS_O, ProtocolConfig, config_by_name)
+from repro.errors import ConfigError
+
+
+class TestNames:
+    def test_canonical_names(self):
+        assert MINOS_B.name == "MINOS-B"
+        assert MINOS_O.name == "MINOS-O"
+        assert COMBINED.name == "Combined"
+        assert B_BROADCAST.name == "MINOS-B+broadcast"
+        assert B_BATCHING.name == "MINOS-B+batching"
+        assert COMBINED_BATCHING.name == "Combined+batching"
+
+    def test_ablation_set_matches_figure_12(self):
+        assert len(ABLATION_CONFIGS) == 7
+        assert ABLATION_CONFIGS[0] is MINOS_B
+        assert ABLATION_CONFIGS[-1] is MINOS_O
+
+    def test_lookup(self):
+        assert config_by_name("minos-o") is MINOS_O
+        with pytest.raises(ConfigError):
+            config_by_name("MINOS-X")
+
+    def test_flags(self):
+        assert MINOS_O.offload and MINOS_O.batching and MINOS_O.broadcast
+        assert not MINOS_B.offload
+        assert COMBINED.offload and not COMBINED.batching

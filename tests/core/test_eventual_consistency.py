@@ -1,0 +1,187 @@
+"""Tests for the Eventual-consistency extension (<EC, Synch>, <EC, Event>).
+
+The paper evaluates only Linearizable consistency ("space constraints
+prevent analyzing more models"); these extension models pair Eventual
+consistency with the persistency framework: writes return after the local
+update (plus local persist for Synch), replicas converge lazily with
+last-writer-wins, and reads never stall.
+"""
+
+import pytest
+
+from repro import LIN_SYNCH, MINOS_B, MINOS_O
+from repro.cluster.cluster import MinosCluster
+from repro.core.model import (EC_EVENT, EC_SYNCH, EXTENSION_MODELS,
+                              DDPModel, Consistency, Persistency,
+                              model_by_name)
+from repro.errors import ProtocolError
+from repro.hw.params import MachineParams
+
+ARCHES = [MINOS_B, MINOS_O]
+
+
+def cluster(model, config, nodes=3):
+    c = MinosCluster(model=model, config=config,
+                     params=MachineParams(nodes=nodes))
+    c.load_records([("k", "v0")])
+    return c
+
+
+class TestModelDefinitions:
+    def test_extension_models_flagged(self):
+        assert EC_SYNCH.is_eventual_consistency
+        assert EC_EVENT.is_eventual_consistency
+        assert not LIN_SYNCH.is_eventual_consistency
+
+    def test_lookup_by_short_name(self):
+        assert model_by_name("ec-synch") is EC_SYNCH
+        assert model_by_name("ec-event") is EC_EVENT
+
+    def test_unsupported_combinations_rejected(self):
+        bad = DDPModel(Consistency.EVENTUAL, Persistency.STRICT)
+        with pytest.raises(ProtocolError):
+            MinosCluster(model=bad, config=MINOS_B,
+                         params=MachineParams(nodes=2))
+
+
+class TestWrites:
+    @pytest.mark.parametrize("config", ARCHES, ids=lambda c: c.name)
+    @pytest.mark.parametrize("model", EXTENSION_MODELS,
+                             ids=lambda m: m.name)
+    def test_write_propagates_to_all_replicas(self, config, model):
+        c = cluster(model, config)
+        result = c.write(0, "k", "v1")
+        assert not result.obsolete
+        c.sim.run()
+        for node in c.nodes:
+            assert node.kv.volatile_read("k").value == "v1"
+            assert node.kv.durable_value("k") == "v1"
+
+    @pytest.mark.parametrize("config", ARCHES, ids=lambda c: c.name)
+    def test_ec_write_much_faster_than_lin(self, config):
+        ec = cluster(EC_SYNCH, config)
+        lin = cluster(LIN_SYNCH, config)
+        r_ec = ec.write(0, "k", "x")
+        r_lin = lin.write(0, "k", "x")
+        assert r_ec.latency < r_lin.latency * 0.9
+
+    def test_ec_synch_persists_before_return(self):
+        """<EC, Synch>: the local persist is on the write's critical
+        path, so the write is locally durable at return time."""
+        c = cluster(EC_SYNCH, MINOS_B)
+        c.write(0, "k", "v1")  # no sim.run(): no background drain needed
+        assert c.nodes[0].kv.durable_value("k") == "v1"
+
+    def test_ec_event_persists_in_background(self):
+        c = cluster(EC_EVENT, MINOS_B)
+        c.write(0, "k", "v1")
+        c.sim.run()
+        assert c.nodes[0].kv.durable_value("k") == "v1"
+
+    @pytest.mark.parametrize("config", ARCHES, ids=lambda c: c.name)
+    def test_concurrent_writes_converge_lww(self, config):
+        """Last-writer-wins: all replicas end on the same version."""
+        c = cluster(EC_EVENT, config, nodes=4)
+        procs = [c.sim.spawn(c.nodes[n].engine.client_write("k", f"v{n}"))
+                 for n in range(4)]
+        c.sim.run()
+        assert all(p.triggered for p in procs)
+        reference = c.nodes[0].kv.volatile_read("k")
+        for node in c.nodes:
+            versioned = node.kv.volatile_read("k")
+            assert versioned.ts == reference.ts
+            assert versioned.value == reference.value
+
+    @pytest.mark.parametrize("config", ARCHES, ids=lambda c: c.name)
+    def test_no_acks_or_vals_exchanged(self, config):
+        c = cluster(EC_EVENT, config)
+        c.write(0, "k", "v1")
+        c.sim.run()
+        assert c.metrics.counters.acks_sent == 0
+        assert c.metrics.counters.vals_sent == 0
+
+
+class TestReads:
+    @pytest.mark.parametrize("config", ARCHES, ids=lambda c: c.name)
+    def test_reads_never_stall(self, config):
+        """EC reads proceed even while a write is in flight (they may
+        return the old value — that is the EC contract)."""
+        c = cluster(EC_SYNCH, config)
+        sim = c.sim
+        sim.spawn(c.nodes[0].engine.client_write("k", "v1"))
+        read = sim.spawn(c.nodes[1].engine.client_read("k"))
+        sim.run()
+        assert read.value.value in ("v0", "v1")
+        assert c.metrics.counters.read_stalls == 0
+
+    def test_stale_read_is_possible_then_converges(self):
+        """The defining EC behaviour: a remote read issued right after a
+        write can be stale; after propagation it is not."""
+        c = cluster(EC_EVENT, MINOS_B)
+        sim = c.sim
+        write = sim.spawn(c.nodes[0].engine.client_write("k", "new"))
+        early = sim.spawn(c.nodes[2].engine.client_read("k"))
+        sim.run_until(early)
+        assert early.value.value == "v0"  # INV still in flight
+        sim.run()
+        late = c.read(2, "k")
+        assert late.value == "new"
+
+
+class TestVerification:
+    @pytest.mark.parametrize("offload", [False, True],
+                             ids=["MINOS-B", "MINOS-O"])
+    @pytest.mark.parametrize("model", EXTENSION_MODELS,
+                             ids=lambda m: m.name)
+    def test_model_checks_pass(self, model, offload):
+        from repro.verify import ModelChecker, ProtocolSpec, WriteDef
+
+        spec = ProtocolSpec(model=model, nodes=2,
+                            writes=(WriteDef(0), WriteDef(1)),
+                            offload=offload)
+        result = ModelChecker(spec).check()
+        assert result.ok, result.violations[:1]
+
+    def test_broken_lww_caught(self):
+        """If a follower applied an *older* INV over a newer value, the
+        terminal-convergence invariant must fire."""
+        from repro.verify import ModelChecker, ProtocolSpec, WriteDef
+        from repro.verify import spec as S
+
+        spec = ProtocolSpec(model=EC_EVENT, nodes=2,
+                            writes=(WriteDef(0), WriteDef(1)))
+        original = spec._deliver_inv_eventual
+
+        def broken(state, msg):
+            records, writes, msgs, tasks, pt = state
+            _t, w, node = msg
+            wdef = spec.writes_def[w]
+            ki = spec.key_index(wdef.key)
+            ts = writes[w][0]
+            rec = list(records[node][ki])
+            rec[0] = ts  # blindly overwrite, even if older
+            yield (f"bad_apply(w{w},n{node})",
+                   (spec._set_record(records, node, ki, tuple(rec)),
+                    writes, msgs - {msg},
+                    tasks | {(S.T_PERSIST, w, node)}, pt))
+
+        spec._deliver_inv_eventual = broken
+        result = ModelChecker(spec).check()
+        assert not result.ok
+
+
+class TestEcOnAblationConfigs:
+    def test_ec_works_without_batching(self):
+        """EC on the Combined (offload, no batching/broadcast) config:
+        the SNIC forwards per-destination INVs yet does the local work
+        once, and completion still reaches the host."""
+        from repro import COMBINED
+
+        c = MinosCluster(model=EC_EVENT, config=COMBINED,
+                         params=MachineParams(nodes=3))
+        c.load_records([("k", "v0")])
+        result = c.write(0, "k", "v1")
+        assert not result.obsolete
+        c.sim.run()
+        for node in c.nodes:
+            assert node.kv.volatile_read("k").value == "v1"

@@ -1,0 +1,116 @@
+"""Cross-cutting consistency checks on simulated histories.
+
+These tests run concurrent workloads on the full engines (not the
+abstract spec) and check linearizability-flavoured properties of the
+observed history: reads never see uncommitted or rolled-back data, all
+replicas converge, and committed writes are never lost.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ALL_MODELS, LIN_SYNCH, MINOS_B, MINOS_O
+from repro.cluster.cluster import MinosCluster
+from repro.hw.params import MachineParams
+
+
+def run_random_history(config, model, seed, nodes=3, ops=24, keys=2):
+    """Drive a random mix of writes/reads; return observations."""
+    cluster = MinosCluster(model=model, config=config,
+                           params=MachineParams(nodes=nodes))
+    key_names = [f"k{i}" for i in range(keys)]
+    cluster.load_records([(k, "init") for k in key_names])
+    sim = cluster.sim
+    rng = random.Random(seed)
+    written = set()
+    reads = []
+
+    def driver(node_id, stream):
+        for op, key, value in stream:
+            if op == "w":
+                result = yield from \
+                    cluster.nodes[node_id].engine.client_write(key, value)
+                if not result.obsolete:
+                    written.add(value)
+            else:
+                result = yield from \
+                    cluster.nodes[node_id].engine.client_read(key)
+                reads.append((key, result.value))
+
+    streams = {n: [] for n in range(nodes)}
+    for i in range(ops):
+        node = rng.randrange(nodes)
+        key = rng.choice(key_names)
+        if rng.random() < 0.6:
+            streams[node].append(("w", key, f"v{i}@n{node}"))
+        else:
+            streams[node].append(("r", key, None))
+    procs = [sim.spawn(driver(n, streams[n])) for n in range(nodes)]
+    sim.run()
+    assert all(p.triggered for p in procs)
+    return cluster, written, reads, key_names
+
+
+ARCHES = [MINOS_B, MINOS_O]
+
+
+class TestHistories:
+    @pytest.mark.parametrize("config", ARCHES, ids=lambda c: c.name)
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: m.name)
+    def test_replicas_converge(self, config, model):
+        cluster, _written, _reads, keys = run_random_history(
+            config, model, seed=1)
+        for key in keys:
+            reference = cluster.nodes[0].kv.volatile_read(key)
+            for node in cluster.nodes:
+                versioned = node.kv.volatile_read(key)
+                assert versioned.ts == reference.ts, key
+                assert versioned.value == reference.value, key
+
+    @pytest.mark.parametrize("config", ARCHES, ids=lambda c: c.name)
+    def test_reads_only_see_written_values(self, config):
+        _cluster, _written, reads, _keys = run_random_history(
+            config, LIN_SYNCH, seed=2)
+        for key, value in reads:
+            assert value == "init" or value.startswith("v"), (key, value)
+
+    @pytest.mark.parametrize("config", ARCHES, ids=lambda c: c.name)
+    @pytest.mark.parametrize("seed", [3, 4, 5])
+    def test_final_value_is_some_committed_write(self, config, seed):
+        cluster, written, _reads, keys = run_random_history(
+            config, LIN_SYNCH, seed=seed)
+        for key in keys:
+            final = cluster.nodes[0].kv.volatile_read(key).value
+            assert final == "init" or final in written
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_property_convergence_synch_baseline(self, seed):
+        cluster, _w, _r, keys = run_random_history(
+            MINOS_B, LIN_SYNCH, seed=seed, ops=15)
+        for key in keys:
+            versions = {cluster.nodes[n].kv.volatile_read(key).ts
+                        for n in range(3)}
+            assert len(versions) == 1
+
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_property_convergence_synch_offload(self, seed):
+        cluster, _w, _r, keys = run_random_history(
+            MINOS_O, LIN_SYNCH, seed=seed, ops=15)
+        for key in keys:
+            versions = {cluster.nodes[n].kv.volatile_read(key).ts
+                        for n in range(3)}
+            assert len(versions) == 1
+
+    @pytest.mark.parametrize("config", ARCHES, ids=lambda c: c.name)
+    def test_durable_state_matches_volatile_at_quiescence(self, config):
+        cluster, _w, _r, keys = run_random_history(config, LIN_SYNCH,
+                                                   seed=6)
+        for key in keys:
+            for node in cluster.nodes:
+                volatile = node.kv.volatile_read(key).value
+                assert node.kv.durable_value(key) == volatile

@@ -1,0 +1,42 @@
+"""Tests for protocol messages."""
+
+from repro.core.messages import NETWORK_LEGAL, Message, MsgType
+from repro.core.timestamp import Timestamp
+
+
+class TestMsgType:
+    def test_ack_family(self):
+        assert MsgType.ACK.is_ack and MsgType.ACK_C.is_ack
+        assert MsgType.ACK_P.is_ack
+        assert not MsgType.INV.is_ack
+
+    def test_val_family(self):
+        assert MsgType.VAL.is_val and MsgType.VAL_C.is_val
+        assert MsgType.VAL_P.is_val
+        assert not MsgType.ACK.is_val
+
+    def test_batched_ack_never_on_network(self):
+        assert MsgType.BATCHED_ACK not in NETWORK_LEGAL
+        assert MsgType.INV in NETWORK_LEGAL
+
+
+class TestMessage:
+    def test_reply_preserves_transaction_identity(self):
+        inv = Message(type=MsgType.INV, key="k", ts=Timestamp(1, 0),
+                      src=0, value="v", scope=9)
+        ack = inv.reply(MsgType.ACK_C, src=3)
+        assert ack.write_id == inv.write_id
+        assert ack.key == "k" and ack.ts == inv.ts
+        assert ack.scope == 9 and ack.src == 3
+        assert ack.value is None  # payload does not ride on replies
+
+    def test_write_ids_unique(self):
+        a = Message(type=MsgType.INV, key="k", ts=Timestamp(1, 0), src=0)
+        b = Message(type=MsgType.INV, key="k", ts=Timestamp(1, 0), src=0)
+        assert a.write_id != b.write_id
+
+    def test_scoped_str(self):
+        msg = Message(type=MsgType.INV, key="k", ts=Timestamp(1, 0),
+                      src=0, scope=4)
+        assert msg.is_scoped
+        assert "[sc4]" in str(msg)

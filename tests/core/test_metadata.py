@@ -1,0 +1,150 @@
+"""Tests for record metadata and the spin primitives (Fig. 1, §III-A)."""
+
+import pytest
+
+from repro.core.metadata import MetadataTable, RecordMeta
+from repro.core.timestamp import INITIAL_TS, NULL_TS, Timestamp
+from repro.errors import ProtocolError
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def meta(sim):
+    return RecordMeta(sim, "key")
+
+
+class TestSnatchRdlock:
+    """The three Snatch-RDLock cases of §III-B."""
+
+    def test_case_free_grabs(self, meta):
+        assert meta.snatch_rdlock(Timestamp(1, 0))
+        assert meta.rdlock_owner == Timestamp(1, 0)
+
+    def test_case_older_owner_snatched(self, meta):
+        meta.snatch_rdlock(Timestamp(1, 0))
+        assert meta.snatch_rdlock(Timestamp(2, 1))
+        assert meta.rdlock_owner == Timestamp(2, 1)
+
+    def test_case_younger_owner_keeps_lock(self, meta):
+        meta.snatch_rdlock(Timestamp(5, 0))
+        assert not meta.snatch_rdlock(Timestamp(2, 1))
+        assert meta.rdlock_owner == Timestamp(5, 0)
+
+    def test_null_ts_rejected(self, meta):
+        with pytest.raises(ProtocolError):
+            meta.snatch_rdlock(NULL_TS)
+
+
+class TestReleaseRdlock:
+    def test_only_owner_releases(self, meta):
+        meta.snatch_rdlock(Timestamp(3, 0))
+        assert not meta.release_rdlock(Timestamp(2, 0))  # not the owner
+        assert meta.rdlock_owner == Timestamp(3, 0)
+        assert meta.release_rdlock(Timestamp(3, 0))
+        assert meta.rdlock_free
+
+    def test_wait_rdlock_free(self, sim, meta):
+        meta.snatch_rdlock(Timestamp(1, 0))
+
+        def reader():
+            yield from meta.wait_rdlock_free()
+            return sim.now
+
+        def releaser():
+            yield sim.timeout(4.0)
+            meta.release_rdlock(Timestamp(1, 0))
+
+        sim.spawn(releaser())
+        assert sim.run_process(reader()) == 4.0
+
+
+class TestObsolete:
+    def test_newer_local_record_makes_write_obsolete(self, meta):
+        meta.set_volatile(Timestamp(5, 1))
+        assert meta.is_obsolete(Timestamp(4, 3))
+        assert not meta.is_obsolete(Timestamp(6, 0))
+
+    def test_initial_record_nothing_obsolete(self, meta):
+        assert not meta.is_obsolete(Timestamp(1, 0))
+
+
+class TestAdvance:
+    def test_monotonic_max_merge(self, meta):
+        meta.set_volatile(Timestamp(5, 0))
+        meta.set_volatile(Timestamp(3, 0))  # older: ignored
+        assert meta.volatile_ts == Timestamp(5, 0)
+
+    def test_all_three_timestamps_independent(self, meta):
+        meta.set_volatile(Timestamp(2, 0))
+        meta.set_glb_volatile(Timestamp(1, 0))
+        assert meta.volatile_ts == Timestamp(2, 0)
+        assert meta.glb_volatile_ts == Timestamp(1, 0)
+        assert meta.glb_durable_ts == INITIAL_TS
+
+
+class TestSpins:
+    def test_consistency_spin_waits_for_glb_volatile(self, sim, meta):
+        meta.set_volatile(Timestamp(3, 1))
+
+        def spinner():
+            yield from meta.consistency_spin()
+            return sim.now
+
+        def completer():
+            yield sim.timeout(2.0)
+            meta.set_glb_volatile(Timestamp(3, 1))
+
+        sim.spawn(completer())
+        assert sim.run_process(spinner()) == 2.0
+
+    def test_consistency_spin_immediate_when_caught_up(self, sim, meta):
+        def spinner():
+            yield from meta.consistency_spin()
+            return sim.now
+
+        assert sim.run_process(spinner()) == 0.0
+
+    def test_persistency_spin_waits_for_glb_durable(self, sim, meta):
+        meta.set_volatile(Timestamp(2, 0))
+        meta.set_glb_volatile(Timestamp(2, 0))
+
+        def spinner():
+            yield from meta.persistency_spin()
+            return sim.now
+
+        def completer():
+            yield sim.timeout(7.0)
+            meta.set_glb_durable(Timestamp(2, 0))
+
+        sim.spawn(completer())
+        assert sim.run_process(spinner()) == 7.0
+
+    def test_spin_with_explicit_target(self, sim, meta):
+        meta.set_volatile(Timestamp(9, 0))  # newer write in flight
+
+        def spinner():
+            yield from meta.consistency_spin(target=Timestamp(2, 0))
+            return sim.now
+
+        def completer():
+            yield sim.timeout(1.0)
+            meta.set_glb_volatile(Timestamp(2, 0))
+
+        sim.spawn(completer())
+        # Satisfied by the explicit (lower) target even though volatileTS
+        # has moved further ahead.
+        assert sim.run_process(spinner()) == 1.0
+
+
+class TestMetadataTable:
+    def test_lazy_creation_and_identity(self, sim):
+        table = MetadataTable(sim)
+        assert "k" not in table
+        meta = table.get("k")
+        assert table.get("k") is meta
+        assert "k" in table and len(table) == 1

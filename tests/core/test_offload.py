@@ -1,0 +1,159 @@
+"""Behavioural tests of the MINOS-O engine against Figures 7-8."""
+
+import pytest
+
+from repro import (ALL_MODELS, COMBINED, COMBINED_BATCHING,
+                   COMBINED_BROADCAST, LIN_STRICT, LIN_SYNCH, MINOS_O)
+from repro.cluster.cluster import MinosCluster
+from repro.core.timestamp import Timestamp
+from repro.hw.params import MachineParams
+
+
+def cluster(model=LIN_SYNCH, config=MINOS_O, nodes=3, machine=None):
+    params = (machine or MachineParams()).with_nodes(nodes)
+    c = MinosCluster(model=model, config=config, params=params)
+    c.load_records([("k", "v0")])
+    return c
+
+
+class TestSingleWrite:
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: m.name)
+    def test_write_replicates_everywhere(self, model):
+        c = cluster(model=model)
+        result = c.write(0, "k", "v1")
+        assert not result.obsolete
+        c.sim.run()  # drain vFIFO/dFIFO tails
+        for node in c.nodes:
+            assert node.kv.volatile_read("k").value == "v1"
+            assert node.kv.durable_value("k") == "v1"
+
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: m.name)
+    def test_rdlock_free_after_quiescence(self, model):
+        c = cluster(model=model)
+        c.write(0, "k", "v1")
+        c.sim.run()
+        for node in c.nodes:
+            assert node.kv.meta("k").rdlock_free
+
+    def test_offload_write_is_faster_than_baseline(self):
+        from repro import MINOS_B
+        co = cluster(config=MINOS_O)
+        cb = MinosCluster(model=LIN_SYNCH, config=MINOS_B,
+                          params=MachineParams(nodes=3))
+        cb.load_records([("k", "v0")])
+        ro = co.write(0, "k", "v1")
+        rb = cb.write(0, "k", "v1")
+        assert ro.latency < rb.latency
+
+    def test_host_only_sends_one_batched_inv(self):
+        """With batching, the host deposits one dest-mapped INV and gets
+        one batched ACK (Fig. 8 lines 10-14)."""
+        c = cluster()
+        c.write(0, "k", "v1")
+        # invs_sent counts logical INVs (one per follower)...
+        assert c.metrics.counters.invs_sent == 2
+        # ...but the SNIC broadcast put a single message on the wire.
+        assert c.nodes[0].snic.messages_sent <= 3  # INV bcast + VAL bcast
+
+
+class TestAblationConfigs:
+    @pytest.mark.parametrize("config", [COMBINED, COMBINED_BROADCAST,
+                                        COMBINED_BATCHING],
+                             ids=lambda c: c.name)
+    def test_combined_variants_are_correct(self, config):
+        c = cluster(config=config)
+        c.write(0, "k", "v1")
+        c.sim.run()
+        for node in c.nodes:
+            assert node.kv.volatile_read("k").value == "v1"
+            assert node.kv.durable_value("k") == "v1"
+            assert node.kv.meta("k").rdlock_free
+
+    def test_non_batched_forwards_every_ack_to_host(self):
+        c = cluster(config=COMBINED)
+        c.write(0, "k", "v1")
+        # Fig. 6: "Every time an ACK is received, it is passed to the
+        # host" — plus the completion notification.
+        assert c.metrics.counters.writes_completed == 1
+
+
+class TestVfifoSemantics:
+    def test_conflicting_writes_skip_obsolete_vfifo_entries(self):
+        """§V-B.4: the drain skips obsolete updates instead of writing
+        stale data to the LLC."""
+        c = cluster(nodes=4)
+        sim = c.sim
+        procs = []
+        for round_ in range(3):
+            for n in range(4):
+                procs.append(sim.spawn(
+                    c.nodes[n].engine.client_write("k", f"r{round_}n{n}")))
+        sim.run()
+        assert all(p.triggered for p in procs)
+        reference = c.nodes[0].kv.volatile_read("k")
+        for node in c.nodes:
+            versioned = node.kv.volatile_read("k")
+            assert versioned.ts == reference.ts
+            assert versioned.value == reference.value
+            assert node.kv.durable_value("k") == reference.value
+
+    def test_tiny_fifo_still_correct(self):
+        machine = MachineParams().with_fifo_entries(1)
+        c = cluster(machine=machine, nodes=3)
+        sim = c.sim
+        procs = [sim.spawn(c.nodes[n].engine.client_write("k", f"v{n}"))
+                 for n in range(3)]
+        sim.run()
+        assert all(p.triggered for p in procs)
+        reference = c.nodes[0].kv.volatile_read("k").ts
+        for node in c.nodes:
+            assert node.kv.volatile_read("k").ts == reference
+
+
+class TestStrictOffload:
+    def test_val_c_then_val_p(self):
+        c = cluster(model=LIN_STRICT)
+        result = c.write(0, "k", "v1")
+        c.sim.run()
+        for node in c.nodes:
+            meta = node.kv.meta("k")
+            assert meta.glb_volatile_ts == result.ts
+            assert meta.glb_durable_ts == result.ts
+
+
+class TestReads:
+    def test_read_after_write_sees_value(self):
+        c = cluster()
+        c.write(0, "k", "fresh")
+        result = c.read(2, "k")
+        assert result.value == "fresh"
+
+    def test_offload_read_faster_under_write_load(self):
+        """Reads check the coherent RDLock; under write traffic they
+        still complete quickly because RDLock hold times are short."""
+        c = cluster()
+        sim = c.sim
+        for n in range(3):
+            sim.spawn(c.nodes[n].engine.client_write("k", f"v{n}"))
+        read = sim.spawn(c.nodes[1].engine.client_read("k"))
+        sim.run()
+        assert read.triggered
+
+
+class TestCoordinatorObsoletePathOffload:
+    def test_snatched_write_cut_short_at_host(self):
+        """Two same-node concurrent writes: the older one is obsoleted
+        after the younger applies, returns obsolete without INVs."""
+        c = cluster(nodes=3)
+        sim = c.sim
+        engine = c.nodes[0].engine
+        first = sim.spawn(engine.client_write("k", "older"))
+        second = sim.spawn(engine.client_write("k", "newer"))
+        sim.run()
+        results = [first.value, second.value]
+        # Exactly one of them carries the higher version and wins.
+        winner = max(results, key=lambda r: r.ts)
+        assert c.nodes[1].kv.volatile_read("k").ts == winner.ts
+        for node in c.nodes:
+            assert node.kv.volatile_read("k").value is not None
+            assert node.kv.meta("k").rdlock_free

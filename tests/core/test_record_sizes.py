@@ -1,0 +1,79 @@
+"""Tests for variable per-write record sizes.
+
+The paper fixes 1 KB records (the YCSB default); the engines also accept
+a per-write payload size, scaling wire serialization, LLC, NVM, and
+vFIFO/dFIFO costs accordingly.
+"""
+
+import pytest
+
+from repro import LIN_SYNCH, MINOS_B, MINOS_O, MinosCluster, YcsbWorkload
+from repro.errors import ConfigError
+from repro.hw.params import KB, MachineParams
+
+ARCHES = [MINOS_B, MINOS_O]
+
+
+def cluster(config):
+    c = MinosCluster(model=LIN_SYNCH, config=config,
+                     params=MachineParams(nodes=3))
+    c.load_records([("k", "v0")])
+    return c
+
+
+class TestEngineSizes:
+    @pytest.mark.parametrize("config", ARCHES, ids=lambda c: c.name)
+    def test_latency_scales_with_size(self, config):
+        c = cluster(config)
+        small = c.sim.run_process(
+            c.nodes[0].engine.client_write("k", "s", size=256))
+        large = c.sim.run_process(
+            c.nodes[0].engine.client_write("k", "l", size=16 * KB))
+        assert large.latency > small.latency * 2
+
+    @pytest.mark.parametrize("config", ARCHES, ids=lambda c: c.name)
+    def test_default_size_unchanged(self, config):
+        """size=None must behave exactly like the 1 KB default."""
+        c1, c2 = cluster(config), cluster(config)
+        explicit = c1.sim.run_process(
+            c1.nodes[0].engine.client_write("k", "v", size=KB))
+        default = c2.sim.run_process(
+            c2.nodes[0].engine.client_write("k", "v"))
+        assert explicit.latency == pytest.approx(default.latency)
+
+    @pytest.mark.parametrize("config", ARCHES, ids=lambda c: c.name)
+    def test_mixed_sizes_converge(self, config):
+        c = cluster(config)
+        sim = c.sim
+        procs = [
+            sim.spawn(c.nodes[0].engine.client_write("k", "small",
+                                                     size=128)),
+            sim.spawn(c.nodes[1].engine.client_write("k", "big",
+                                                     size=4 * KB)),
+        ]
+        sim.run()
+        assert all(p.triggered for p in procs)
+        reference = c.nodes[0].kv.volatile_read("k")
+        for node in c.nodes:
+            assert node.kv.volatile_read("k").ts == reference.ts
+
+
+class TestWorkloadSizes:
+    def test_value_size_flows_to_ops(self):
+        wl = YcsbWorkload(records=10, requests_per_client=20,
+                          write_fraction=1.0, value_size=4096)
+        assert all(op.size == 4096 for op in wl.ops_for(0, 0))
+
+    def test_value_size_validated(self):
+        with pytest.raises(ConfigError):
+            YcsbWorkload(value_size=0)
+
+    def test_bigger_records_cost_throughput(self):
+        def tput(size):
+            c = MinosCluster(model=LIN_SYNCH, config=MINOS_B,
+                             params=MachineParams(nodes=3))
+            wl = YcsbWorkload(records=30, requests_per_client=15,
+                              write_fraction=1.0, value_size=size, seed=5)
+            return c.run_workload(wl, clients_per_node=2).write_throughput()
+
+        assert tput(256) > tput(8 * KB) * 1.3

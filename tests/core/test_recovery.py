@@ -1,0 +1,122 @@
+"""Tests for failure detection and recovery (paper §III-E)."""
+
+import pytest
+
+from repro import LIN_SYNCH, MINOS_B, MINOS_O
+from repro.cluster.cluster import MinosCluster
+from repro.core.recovery import (Heartbeat, JoinRequest, RecoveryManager,
+                                 Rejoined)
+from repro.errors import RecoveryError
+from repro.hw.params import MachineParams, us
+
+
+def build(config=MINOS_B, nodes=3):
+    cluster = MinosCluster(model=LIN_SYNCH, config=config,
+                           params=MachineParams(nodes=nodes))
+    manager = RecoveryManager(cluster, heartbeat_interval=us(50),
+                              timeout=us(200))
+    for node in cluster.nodes:
+        node.engine.tolerate_stale_acks = True
+    cluster.load_records([("k", "v0")])
+    return cluster, manager
+
+
+class TestDetection:
+    @pytest.mark.parametrize("config", [MINOS_B, MINOS_O],
+                             ids=lambda c: c.name)
+    def test_crash_detected_by_all_survivors(self, config):
+        cluster, manager = build(config=config)
+        manager.crash(2)
+        cluster.sim.run(until=us(1000))
+        assert 2 in manager.suspected[0]
+        assert 2 in manager.suspected[1]
+        assert 2 not in cluster.nodes[0].engine.peers
+        assert 2 not in cluster.nodes[1].engine.peers
+
+    def test_healthy_cluster_never_suspects(self):
+        cluster, manager = build()
+        cluster.sim.run(until=us(2000))
+        assert manager.detections == 0
+
+    def test_timeout_must_exceed_interval(self):
+        cluster = MinosCluster(model=LIN_SYNCH, config=MINOS_B,
+                               params=MachineParams(nodes=2))
+        with pytest.raises(RecoveryError):
+            RecoveryManager(cluster, heartbeat_interval=us(100),
+                            timeout=us(50))
+
+
+class TestWritesUnderFailure:
+    @pytest.mark.parametrize("config", [MINOS_B, MINOS_O],
+                             ids=lambda c: c.name)
+    def test_writes_complete_with_failed_node_excluded(self, config):
+        cluster, manager = build(config=config)
+        manager.crash(2)
+        cluster.sim.run(until=us(1000))
+        result = cluster.write(0, "k", "v1")
+        assert not result.obsolete
+        assert cluster.nodes[1].kv.volatile_read("k").value == "v1"
+        # The crashed node never saw the update.
+        assert cluster.nodes[2].kv.volatile_read("k").value == "v0"
+
+    def test_inflight_write_unblocked_by_detection(self):
+        """A write stuck waiting for a dead follower's ACK completes once
+        the failure detector excludes the node."""
+        cluster, manager = build()
+        sim = cluster.sim
+        manager.crash(2)  # crash BEFORE detection: ACK will never come
+        write = sim.spawn(cluster.nodes[0].engine.client_write("k", "v1"))
+        sim.run(until=us(3000))
+        assert write.triggered
+
+
+class TestRejoin:
+    @pytest.mark.parametrize("config", [MINOS_B, MINOS_O],
+                             ids=lambda c: c.name)
+    def test_catchup_restores_volatile_and_durable_state(self, config):
+        cluster, manager = build(config=config)
+        manager.crash(2)
+        cluster.sim.run(until=us(1000))
+        cluster.write(0, "k", "v1")
+        cluster.write(1, "k", "v2")
+        process = manager.recover(2)
+        cluster.sim.run(until=cluster.sim.now + us(2000))
+        assert process.triggered
+        assert cluster.nodes[2].kv.volatile_read("k").value == "v2"
+        assert cluster.nodes[2].kv.durable_value("k") == "v2"
+        assert manager.rejoins == 1
+
+    def test_rejoined_node_reincluded_in_replica_sets(self):
+        cluster, manager = build()
+        manager.crash(2)
+        cluster.sim.run(until=us(1000))
+        manager.recover(2)
+        cluster.sim.run(until=cluster.sim.now + us(2000))
+        assert 2 in cluster.nodes[0].engine.peers
+        assert 2 in cluster.nodes[1].engine.peers
+        # New writes replicate to the rejoined node again.
+        cluster.write(0, "k", "v3")
+        assert cluster.nodes[2].kv.volatile_read("k").value == "v3"
+
+    def test_designated_node_is_lowest_alive(self):
+        cluster, manager = build()
+        assert manager.designated_node(exclude=0) == 1
+        manager.crash(1)
+        assert manager.designated_node(exclude=0) == 2
+
+    def test_no_alive_node_raises(self):
+        cluster, manager = build(nodes=2)
+        manager.crash(1)
+        with pytest.raises(RecoveryError):
+            manager.designated_node(exclude=0)
+
+    def test_catchup_only_ships_missed_entries(self):
+        cluster, manager = build()
+        cluster.write(0, "k", "before-crash")
+        cluster.sim.run(until=cluster.sim.now + us(100))
+        serial_before = cluster.nodes[2].kv.log.last_serial
+        manager.crash(2)
+        cluster.sim.run(until=cluster.sim.now + us(1000))
+        cluster.write(0, "k", "while-down")
+        entries = cluster.nodes[0].kv.log.entries_since(serial_before)
+        assert [e.value for e in entries] == ["while-down"]

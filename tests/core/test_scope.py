@@ -1,0 +1,88 @@
+"""Tests for the <Lin, Scope> model and the [PERSIST]sc transaction."""
+
+import pytest
+
+from repro import LIN_SCOPE, LIN_SYNCH, MINOS_B, MINOS_O
+from repro.cluster.cluster import MinosCluster
+from repro.core.scope import ScopeTracker
+from repro.errors import ProtocolError
+from repro.hw.params import MachineParams
+from repro.sim import Simulator
+
+
+def cluster(config=MINOS_B, nodes=3):
+    c = MinosCluster(model=LIN_SCOPE, config=config,
+                     params=MachineParams(nodes=nodes))
+    c.load_records([(f"k{i}", "v0") for i in range(4)])
+    return c
+
+
+class TestScopeTracker:
+    def test_wait_scope_durable_waits_all_registered(self):
+        sim = Simulator()
+        tracker = ScopeTracker(sim)
+        done1 = tracker.register_write(scope=1)
+        done2 = tracker.register_write(scope=1)
+        assert tracker.outstanding(1) == 2
+
+        def persister():
+            yield sim.timeout(1.0)
+            done1.succeed()
+            yield sim.timeout(2.0)
+            done2.succeed()
+
+        def waiter():
+            yield from tracker.wait_scope_durable(1)
+            return sim.now
+
+        sim.spawn(persister())
+        assert sim.run_process(waiter()) == 3.0
+
+    def test_unknown_scope_is_trivially_durable(self):
+        sim = Simulator()
+        tracker = ScopeTracker(sim)
+
+        def waiter():
+            yield from tracker.wait_scope_durable(99)
+            return sim.now
+
+        assert sim.run_process(waiter()) == 0.0
+
+
+class TestPersistTransaction:
+    @pytest.mark.parametrize("config", [MINOS_B, MINOS_O],
+                             ids=lambda c: c.name)
+    def test_persist_sc_makes_scope_durable_everywhere(self, config):
+        c = cluster(config=config)
+        for i in range(4):
+            c.write(0, f"k{i}", f"item{i}", scope=5)
+        c.persist_scope(0, 5)
+        for node in c.nodes:
+            for i in range(4):
+                assert node.kv.durable_value(f"k{i}") == f"item{i}"
+
+    def test_persist_requires_scope_model(self):
+        c = MinosCluster(model=LIN_SYNCH, config=MINOS_B,
+                         params=MachineParams(nodes=2))
+        with pytest.raises(ProtocolError):
+            c.persist_scope(0, 1)
+
+    @pytest.mark.parametrize("config", [MINOS_B, MINOS_O],
+                             ids=lambda c: c.name)
+    def test_scoped_write_latency_below_synch(self, config):
+        """Scoped writes defer durability, so they return faster than
+        <Lin, Synch> writes on the same architecture."""
+        scope_c = cluster(config=config)
+        synch_c = MinosCluster(model=LIN_SYNCH, config=config,
+                               params=MachineParams(nodes=3))
+        synch_c.load_records([("k0", "v0")])
+        scoped = scope_c.write(0, "k0", "x", scope=1)
+        synch = synch_c.write(0, "k0", "x")
+        assert scoped.latency < synch.latency
+
+    def test_counters(self):
+        c = cluster()
+        c.write(0, "k0", "x", scope=3)
+        c.persist_scope(0, 3)
+        assert c.metrics.counters.scope_persist_txns == 1
+        assert c.metrics.persist_latency.count == 1

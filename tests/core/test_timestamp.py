@@ -1,0 +1,57 @@
+"""Tests for logical timestamps (paper §III-A)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.timestamp import INITIAL_TS, NULL_TS, Timestamp
+
+timestamps = st.builds(Timestamp,
+                       version=st.integers(min_value=0, max_value=50),
+                       node_id=st.integers(min_value=0, max_value=15))
+
+
+class TestOrdering:
+    def test_higher_version_is_newer(self):
+        assert Timestamp(2, 0) > Timestamp(1, 4)
+
+    def test_tie_broken_by_node_id(self):
+        """Same version: the higher node_id wins (paper §III-A)."""
+        assert Timestamp(3, 4) > Timestamp(3, 2)
+
+    def test_equality(self):
+        assert Timestamp(1, 1) == Timestamp(1, 1)
+        assert Timestamp(1, 1) != Timestamp(1, 2)
+
+    @given(a=timestamps, b=timestamps)
+    def test_total_order(self, a, b):
+        assert (a < b) + (a == b) + (a > b) == 1
+
+    @given(a=timestamps, b=timestamps, c=timestamps)
+    def test_transitivity(self, a, b, c):
+        if a < b and b < c:
+            assert a < c
+
+    @given(ts=timestamps)
+    def test_null_is_older_than_everything(self, ts):
+        assert NULL_TS < ts
+
+
+class TestLifecycle:
+    def test_next_for_bumps_version_and_stamps_node(self):
+        ts = Timestamp(7, 2).next_for(4)
+        assert ts == Timestamp(8, 4)
+
+    def test_initial_and_null(self):
+        assert INITIAL_TS == Timestamp(0, 0)
+        assert NULL_TS.is_null
+        assert not INITIAL_TS.is_null
+
+    def test_hashable_and_frozen(self):
+        ts = Timestamp(1, 2)
+        assert hash(ts) == hash(Timestamp(1, 2))
+        with pytest.raises(AttributeError):
+            ts.version = 5
+
+    def test_str(self):
+        assert str(Timestamp(3, 1)) == "<v3@n1>"

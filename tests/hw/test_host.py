@@ -1,0 +1,65 @@
+"""Tests for the host model."""
+
+import pytest
+
+from repro.hw.host import Host
+from repro.hw.params import DEFAULT_MACHINE, ns
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def host():
+    return Host(Simulator(), node_id=0, params=DEFAULT_MACHINE)
+
+
+class TestHostCompute:
+    def test_compute_costs_time(self, host):
+        sim = host.sim
+
+        def proc():
+            yield from host.compute(1e-6)
+            return sim.now
+
+        assert sim.run_process(proc()) == pytest.approx(1e-6)
+
+    def test_zero_duration_is_free(self, host):
+        sim = host.sim
+
+        def proc():
+            yield from host.compute(0.0)
+            return sim.now
+
+        assert sim.run_process(proc()) == 0.0
+
+    def test_core_contention(self, host):
+        """With 5 cores, the sixth concurrent job waits."""
+        sim = host.sim
+        finish = []
+
+        def job(tag):
+            yield from host.compute(1e-6)
+            finish.append((tag, sim.now))
+
+        for tag in range(6):
+            sim.spawn(job(tag))
+        sim.run()
+        assert finish[-1] == (5, pytest.approx(2e-6))
+        assert all(t == pytest.approx(1e-6) for _tag, t in finish[:5])
+
+    def test_sync_op_costs_cas_latency(self, host):
+        sim = host.sim
+
+        def proc():
+            yield from host.sync_op()
+            return sim.now
+
+        assert sim.run_process(proc()) == pytest.approx(ns(42))
+
+    def test_busy_time_accounting(self, host):
+        sim = host.sim
+
+        def proc():
+            yield from host.compute(3e-6)
+
+        sim.run_process(proc())
+        assert host.busy_time == pytest.approx(3e-6)

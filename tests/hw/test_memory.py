@@ -1,0 +1,65 @@
+"""Tests for the timed memory devices."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.hw.memory import Llc, NvmDevice, TimedDevice
+from repro.hw.params import ns
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestTimedDevice:
+    def test_service_time_linear_in_size(self, sim):
+        device = TimedDevice(sim, seconds_per_kb=ns(1000))
+        assert device.service_time(1024) == pytest.approx(ns(1000))
+        assert device.service_time(512) == pytest.approx(ns(500))
+
+    def test_access_is_pure_delay(self, sim):
+        """Concurrent accesses overlap (pipelined device model)."""
+        device = TimedDevice(sim, seconds_per_kb=1.0)
+        done = []
+
+        def user(tag):
+            yield device.access(1024)
+            done.append((tag, sim.now))
+
+        sim.spawn(user("a"))
+        sim.spawn(user("b"))
+        sim.run()
+        assert done == [("a", 1.0), ("b", 1.0)]
+
+    def test_negative_rate_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            TimedDevice(sim, seconds_per_kb=-1.0)
+
+    def test_negative_size_rejected(self, sim):
+        device = TimedDevice(sim, 1.0)
+        with pytest.raises(SimulationError):
+            device.access(-1)
+
+    def test_stats(self, sim):
+        device = Llc(sim, ns(100))
+
+        def proc():
+            yield device.access(1024)
+            yield device.access(2048)
+
+        sim.run_process(proc())
+        assert device.ops == 2
+        assert device.bytes_processed == 3072
+
+
+class TestNvm:
+    def test_persist_is_access_alias(self, sim):
+        nvm = NvmDevice(sim, ns(1295))
+
+        def proc():
+            yield nvm.persist(1024)
+            return sim.now
+
+        assert sim.run_process(proc()) == pytest.approx(ns(1295))

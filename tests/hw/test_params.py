@@ -1,0 +1,95 @@
+"""Tests for the hardware parameter tables (paper Tables II/III)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hw.params import (DEFAULT_MACHINE, KB, MachineParams, gbps, ns,
+                             us)
+
+
+class TestUnits:
+    def test_ns(self):
+        assert ns(1295) == pytest.approx(1.295e-6)
+
+    def test_us(self):
+        assert us(500) == pytest.approx(5e-4)
+
+    def test_gbps(self):
+        assert gbps(6.25) == pytest.approx(6.25e9)
+
+
+class TestTableIIIDefaults:
+    """The paper's Table III values must survive refactoring."""
+
+    def test_cluster_size(self):
+        assert DEFAULT_MACHINE.nodes == 5
+
+    def test_host(self):
+        host = DEFAULT_MACHINE.host
+        assert host.cores == 5
+        assert host.frequency_hz == 2.1e9
+        assert host.sync_latency == pytest.approx(ns(42))
+        assert host.nvm_persist_per_kb == pytest.approx(ns(1295))
+
+    def test_snic(self):
+        snic = DEFAULT_MACHINE.snic
+        assert snic.cores == 8
+        assert snic.frequency_hz == 2.0e9
+        assert snic.sync_latency == pytest.approx(ns(105))
+        assert snic.vfifo_write_per_kb == pytest.approx(ns(465))
+        assert snic.dfifo_write_per_kb == pytest.approx(ns(1295))
+        assert snic.vfifo_entries == 5
+        assert snic.dfifo_entries == 5
+
+    def test_links(self):
+        assert DEFAULT_MACHINE.pcie.latency == pytest.approx(ns(500))
+        assert DEFAULT_MACHINE.pcie.bandwidth == pytest.approx(6.25e9)
+        assert DEFAULT_MACHINE.network.latency == pytest.approx(ns(150))
+        assert DEFAULT_MACHINE.network.bandwidth == pytest.approx(7e9)
+
+    def test_nic_costs(self):
+        nic = DEFAULT_MACHINE.nic
+        assert nic.send_inv_cost == pytest.approx(ns(200))
+        assert nic.send_ack_cost == pytest.approx(ns(100))
+        assert nic.inter_message_gap == pytest.approx(ns(100))
+
+    def test_record_size_is_ycsb_default(self):
+        assert DEFAULT_MACHINE.record_size == KB
+
+
+class TestDerived:
+    def test_persist_time_scales_with_size(self):
+        m = DEFAULT_MACHINE
+        assert m.nvm_persist_time(KB) == pytest.approx(ns(1295))
+        assert m.nvm_persist_time(2 * KB) == pytest.approx(ns(2590))
+
+    def test_fifo_write_times(self):
+        m = DEFAULT_MACHINE
+        assert m.vfifo_write_time(KB) == pytest.approx(ns(465))
+        assert m.dfifo_write_time(512) == pytest.approx(ns(1295) / 2)
+
+    def test_with_nodes(self):
+        m = DEFAULT_MACHINE.with_nodes(16)
+        assert m.nodes == 16
+        assert DEFAULT_MACHINE.nodes == 5  # frozen original untouched
+
+    def test_with_persist_latency_leaves_dfifo_fixed(self):
+        m = DEFAULT_MACHINE.with_persist_latency(us(100))
+        assert m.host.nvm_persist_per_kb == pytest.approx(us(100))
+        # The dFIFO is the SNIC's own NVM; it does not track the host's.
+        assert m.snic.dfifo_write_per_kb == pytest.approx(ns(1295))
+
+    def test_with_fifo_entries(self):
+        m = DEFAULT_MACHINE.with_fifo_entries(None)
+        assert m.snic.vfifo_entries is None
+        assert m.snic.dfifo_entries is None
+
+
+class TestValidation:
+    def test_single_node_cluster_rejected(self):
+        with pytest.raises(ConfigError):
+            MachineParams(nodes=1)
+
+    def test_bad_record_size_rejected(self):
+        with pytest.raises(ConfigError):
+            MachineParams(record_size=0)

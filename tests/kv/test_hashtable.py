@@ -1,0 +1,106 @@
+"""Unit and property tests for the open-addressing hashtable."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import KVError
+from repro.kv.hashtable import HashTable
+
+
+class TestBasics:
+    def test_put_get(self):
+        table = HashTable()
+        table.put("a", 1)
+        assert table.get("a") == 1
+        assert table.get("missing") is None
+        assert table.get("missing", "dflt") == "dflt"
+
+    def test_overwrite(self):
+        table = HashTable()
+        table.put("a", 1)
+        table.put("a", 2)
+        assert table.get("a") == 2
+        assert len(table) == 1
+
+    def test_delete(self):
+        table = HashTable()
+        table.put("a", 1)
+        assert table.delete("a")
+        assert not table.delete("a")
+        assert table.get("a") is None
+        assert len(table) == 0
+
+    def test_contains(self):
+        table = HashTable()
+        table.put("x", 1)
+        assert "x" in table
+        assert "y" not in table
+
+    def test_reinsert_after_delete_reuses_tombstone(self):
+        table = HashTable()
+        table.put("a", 1)
+        table.delete("a")
+        table.put("a", 2)
+        assert table.get("a") == 2
+        assert len(table) == 1
+
+    def test_bad_capacity(self):
+        with pytest.raises(KVError):
+            HashTable(initial_capacity=0)
+
+
+class TestResize:
+    def test_grows_past_load_factor(self):
+        table = HashTable(initial_capacity=8)
+        for i in range(100):
+            table.put(f"key{i}", i)
+        assert len(table) == 100
+        assert table.capacity >= 128
+        for i in range(100):
+            assert table.get(f"key{i}") == i
+
+    def test_load_factor_bounded(self):
+        table = HashTable()
+        for i in range(1000):
+            table.put(i, i)
+        assert table.load_factor <= HashTable.max_load + 1e-9
+
+    def test_probes_counted(self):
+        table = HashTable()
+        table.put("a", 1)
+        before = table.total_probes
+        table.get("a")
+        assert table.total_probes > before
+        assert table.probes_for("a") >= 1
+
+
+class TestItems:
+    def test_items_round_trip(self):
+        table = HashTable()
+        data = {f"k{i}": i for i in range(50)}
+        for key, value in data.items():
+            table.put(key, value)
+        assert dict(table.items()) == data
+
+
+@settings(max_examples=50, deadline=None)
+@given(ops=st.lists(st.tuples(
+    st.sampled_from(["put", "get", "delete"]),
+    st.integers(min_value=0, max_value=20),
+    st.integers()), max_size=200))
+def test_model_equivalence_with_dict(ops):
+    """The hashtable behaves exactly like a dict for any op sequence."""
+    table = HashTable()
+    model = {}
+    for op, key, value in ops:
+        if op == "put":
+            table.put(key, value)
+            model[key] = value
+        elif op == "get":
+            assert table.get(key) == model.get(key)
+        else:
+            assert table.delete(key) == (key in model)
+            model.pop(key, None)
+    assert len(table) == len(model)
+    assert dict(table.items()) == model

@@ -1,0 +1,146 @@
+"""Tests for the NVM log (out-of-order persists, obsolete-checked apply)."""
+
+from repro.core.timestamp import Timestamp
+from repro.kv.log import NvmLog
+
+
+class TestAppendApply:
+    def test_out_of_order_appends_newest_wins(self):
+        """§III-B: the NVM can be updated out of order; apply-time
+        obsoleteness checks keep the durable DB correct."""
+        log = NvmLog()
+        log.append("k", Timestamp(3, 0), "newest")
+        log.append("k", Timestamp(1, 0), "oldest")
+        log.append("k", Timestamp(2, 1), "middle")
+        assert log.durable_value("k") == "newest"
+        assert log.obsolete_skipped == 2
+
+    def test_incremental_apply(self):
+        log = NvmLog()
+        log.append("k", Timestamp(1, 0), "a")
+        assert log.apply_all() == 1
+        log.append("k", Timestamp(2, 0), "b")
+        assert log.apply_all() == 1  # only the new entry
+        assert log.apply_all() == 0
+
+    def test_durable_ts(self):
+        log = NvmLog()
+        assert log.durable_ts("k") is None
+        log.append("k", Timestamp(4, 2), "v")
+        assert log.durable_ts("k") == Timestamp(4, 2)
+
+    def test_multiple_keys_independent(self):
+        log = NvmLog()
+        log.append("a", Timestamp(1, 0), "va")
+        log.append("b", Timestamp(9, 0), "vb")
+        log.append("a", Timestamp(2, 0), "va2")
+        assert log.durable_value("a") == "va2"
+        assert log.durable_value("b") == "vb"
+
+
+class TestRecoverySupport:
+    def test_serials_monotonic(self):
+        log = NvmLog()
+        first = log.append("k", Timestamp(1, 0), "a")
+        second = log.append("k", Timestamp(2, 0), "b")
+        assert second.serial > first.serial
+        assert log.last_serial == second.serial
+
+    def test_entries_since(self):
+        log = NvmLog()
+        log.append("k", Timestamp(1, 0), "a")
+        marker = log.last_serial
+        log.append("k", Timestamp(2, 0), "b")
+        log.append("j", Timestamp(1, 1), "c")
+        missed = log.entries_since(marker)
+        assert [e.value for e in missed] == ["b", "c"]
+
+    def test_empty_log(self):
+        log = NvmLog()
+        assert log.last_serial == -1
+        assert log.entries_since(-1) == []
+
+    def test_ingest_reserializes(self):
+        source = NvmLog()
+        source.append("k", Timestamp(1, 0), "a", scope=7)
+        target = NvmLog()
+        target.append("x", Timestamp(1, 1), "local")
+        assert target.ingest(iter(source.entries_since(-1))) == 1
+        assert target.durable_value("k") == "a"
+        assert len(target) == 2
+        assert target.scope_entries(7)[0].key == "k"
+
+    def test_entries_for(self):
+        log = NvmLog()
+        log.append("a", Timestamp(1, 0), "x")
+        log.append("b", Timestamp(1, 0), "y")
+        assert len(log.entries_for("a")) == 1
+
+
+class TestCheckpoint:
+    def test_checkpoint_truncates_but_preserves_state(self):
+        from repro.kv.log import NvmLog
+        log = NvmLog()
+        log.append("a", Timestamp(1, 0), "a1")
+        log.append("a", Timestamp(2, 0), "a2")
+        log.append("b", Timestamp(1, 1), "b1")
+        truncated = log.checkpoint()
+        assert truncated == 3
+        assert len(log) == 0
+        assert log.durable_value("a") == "a2"
+        assert log.durable_value("b") == "b1"
+        assert log.checkpoints_taken == 1
+
+    def test_last_serial_survives_checkpoint(self):
+        from repro.kv.log import NvmLog
+        log = NvmLog()
+        log.append("a", Timestamp(1, 0), "x")
+        before = log.last_serial
+        log.checkpoint()
+        assert log.last_serial == before
+
+    def test_entries_since_uses_checkpoint_image(self):
+        """A recovering node that missed the whole history gets one
+        entry per key (the compact image) plus the live tail."""
+        from repro.kv.log import NvmLog
+        log = NvmLog()
+        for version in range(1, 6):
+            log.append("hot", Timestamp(version, 0), f"v{version}")
+        log.checkpoint()
+        log.append("cold", Timestamp(1, 1), "c1")
+        payload = log.entries_since(-1)
+        assert [(e.key, e.value) for e in payload] == \
+            [("hot", "v5"), ("cold", "c1")]
+
+    def test_entries_since_after_checkpoint_serial(self):
+        from repro.kv.log import NvmLog
+        log = NvmLog()
+        log.append("a", Timestamp(1, 0), "x")
+        marker = log.last_serial
+        log.checkpoint()
+        log.append("a", Timestamp(2, 0), "y")
+        assert [e.value for e in log.entries_since(marker)] == ["y"]
+
+    def test_recovery_with_checkpointed_designated_node(self):
+        """End-to-end: the designated node checkpointed its log; the
+        rejoining node still converges."""
+        from repro import LIN_SYNCH, MINOS_B, MinosCluster
+        from repro.core.recovery import RecoveryManager
+        from repro.hw.params import MachineParams, us
+
+        cluster = MinosCluster(model=LIN_SYNCH, config=MINOS_B,
+                               params=MachineParams(nodes=3))
+        manager = RecoveryManager(cluster)
+        for node in cluster.nodes:
+            node.engine.tolerate_stale_acks = True
+        cluster.load_records([("k", "v0")])
+        manager.crash(2)
+        cluster.sim.run(until=us(1000))
+        cluster.write(0, "k", "v1")
+        cluster.write(0, "k", "v2")
+        cluster.nodes[0].kv.log.checkpoint()  # compact before catch-up
+        process = manager.recover(2)
+        cluster.sim.run(until=cluster.sim.now + us(2000))
+        assert process.triggered
+        assert cluster.nodes[2].kv.volatile_read("k").value == "v2"
+        assert cluster.nodes[2].kv.durable_value("k") == "v2"

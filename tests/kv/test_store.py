@@ -1,0 +1,58 @@
+"""Tests for the per-node MinosKV store."""
+
+from repro.core.timestamp import INITIAL_TS, Timestamp
+from repro.kv.store import MinosKV
+from repro.sim import Simulator
+
+
+def store():
+    return MinosKV(Simulator(), node_id=0)
+
+
+class TestVolatile:
+    def test_load_initial(self):
+        kv = store()
+        kv.load_initial("k", "v0")
+        versioned = kv.volatile_read("k")
+        assert versioned.value == "v0"
+        assert versioned.ts == INITIAL_TS
+        assert "k" in kv and len(kv) == 1
+
+    def test_volatile_write_updates_metadata(self):
+        kv = store()
+        kv.load_initial("k", "v0")
+        assert kv.volatile_write("k", "v1", Timestamp(1, 0))
+        assert kv.meta("k").volatile_ts == Timestamp(1, 0)
+        assert kv.volatile_read("k").value == "v1"
+
+    def test_stale_write_guard(self):
+        """The final obsoleteness guard: an older timestamp never
+        overwrites a newer value (LLC stays consistent)."""
+        kv = store()
+        kv.volatile_write("k", "new", Timestamp(5, 1))
+        assert not kv.volatile_write("k", "old", Timestamp(2, 0))
+        assert kv.volatile_read("k").value == "new"
+
+    def test_equal_ts_write_applies(self):
+        # Replaying the same write (e.g. recovery catch-up) is a no-op
+        # value-wise but must not be rejected.
+        kv = store()
+        kv.volatile_write("k", "v", Timestamp(1, 0))
+        assert kv.volatile_write("k", "v", Timestamp(1, 0))
+
+    def test_lookup_probes_positive(self):
+        kv = store()
+        kv.load_initial("k", "v")
+        assert kv.lookup_probes("k") >= 1
+
+
+class TestDurable:
+    def test_persist_and_read_back(self):
+        kv = store()
+        kv.persist("k", "v1", Timestamp(1, 0))
+        assert kv.durable_value("k") == "v1"
+
+    def test_persist_scope_recorded(self):
+        kv = store()
+        entry = kv.persist("k", "v", Timestamp(1, 0), scope=3)
+        assert entry.scope == 3

@@ -1,0 +1,54 @@
+"""Tests for the Fig. 4 communication/computation accounting."""
+
+import pytest
+
+from repro.metrics.breakdown import Breakdown, write_breakdown
+from repro.metrics.stats import Metrics
+
+
+class TestBreakdown:
+    def test_computation_is_remainder(self):
+        b = Breakdown(total=10e-6, communication=7e-6)
+        assert b.computation == pytest.approx(3e-6)
+        assert b.communication_fraction == pytest.approx(0.7)
+
+    def test_zero_total(self):
+        b = Breakdown(total=0.0, communication=0.0)
+        assert b.communication_fraction == 0.0
+
+    def test_str_mentions_fraction(self):
+        assert "70%" in str(Breakdown(total=10e-6, communication=7e-6))
+
+
+class TestWriteBreakdown:
+    def test_follower_handling_subtracted(self):
+        """comm = (last ACK - first INV deposit) - avg follower handling
+        (the paper's §IV accounting)."""
+        metrics = Metrics()
+        metrics.record_write(10e-6)
+        metrics.record_comm_span(1, inv_deposit=0.0, last_ack=8e-6)
+        metrics.record_follower_handling(1, 2e-6)
+        metrics.record_follower_handling(1, 4e-6)
+        breakdown = write_breakdown(metrics)
+        # span 8us - avg handling 3us = 5us of communication
+        assert breakdown.communication == pytest.approx(5e-6)
+        assert breakdown.total == pytest.approx(10e-6)
+
+    def test_clamped_to_total(self):
+        metrics = Metrics()
+        metrics.record_write(5e-6)
+        metrics.record_comm_span(1, inv_deposit=0.0, last_ack=50e-6)
+        breakdown = write_breakdown(metrics)
+        assert breakdown.communication == breakdown.total
+
+    def test_no_spans(self):
+        metrics = Metrics()
+        metrics.record_write(5e-6)
+        assert write_breakdown(metrics).communication == 0.0
+
+    def test_negative_span_floored(self):
+        metrics = Metrics()
+        metrics.record_write(5e-6)
+        metrics.record_comm_span(1, inv_deposit=1e-6, last_ack=2e-6)
+        metrics.record_follower_handling(1, 9e-6)
+        assert write_breakdown(metrics).communication == 0.0

@@ -1,0 +1,100 @@
+"""Tests for latency statistics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.stats import (EMPTY_SUMMARY, LatencyRecorder, Metrics,
+                                 percentile)
+
+
+class TestPercentile:
+    def test_empty(self):
+        assert percentile([], 0.5) == 0.0
+
+    def test_single(self):
+        assert percentile([3.0], 0.99) == 3.0
+
+    def test_median_interpolation(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 0.5) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        data = sorted([5.0, 1.0, 3.0])
+        assert percentile(data, 0.0) == 1.0
+        assert percentile(data, 1.0) == 5.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(samples=st.lists(st.floats(min_value=0, max_value=1e6,
+                                      allow_nan=False), min_size=1),
+           fraction=st.floats(min_value=0, max_value=1))
+    def test_within_bounds(self, samples, fraction):
+        data = sorted(samples)
+        value = percentile(data, fraction)
+        assert data[0] <= value <= data[-1]
+
+    @settings(max_examples=30, deadline=None)
+    @given(samples=st.lists(st.floats(min_value=0, max_value=1e6,
+                                      allow_nan=False), min_size=2))
+    def test_monotone_in_fraction(self, samples):
+        data = sorted(samples)
+        assert percentile(data, 0.25) <= percentile(data, 0.75)
+
+
+class TestRecorder:
+    def test_empty_summary(self):
+        assert LatencyRecorder().summary() == EMPTY_SUMMARY
+
+    def test_summary_fields(self):
+        rec = LatencyRecorder()
+        for value in (1e-6, 2e-6, 3e-6, 10e-6):
+            rec.add(value)
+        summary = rec.summary()
+        assert summary.count == 4
+        assert summary.mean == pytest.approx(4e-6)
+        assert summary.minimum == 1e-6
+        assert summary.maximum == 10e-6
+        assert summary.mean_us == pytest.approx(4.0)
+
+    def test_samples_copy(self):
+        rec = LatencyRecorder()
+        rec.add(1.0)
+        samples = rec.samples
+        samples.append(2.0)
+        assert rec.count == 1
+
+
+class TestMetrics:
+    def test_throughput(self):
+        metrics = Metrics()
+        metrics.started_at = 0.0
+        metrics.finished_at = 2.0
+        for _ in range(10):
+            metrics.record_write(1e-6)
+        for _ in range(6):
+            metrics.record_read(1e-6)
+        assert metrics.write_throughput() == pytest.approx(5.0)
+        assert metrics.read_throughput() == pytest.approx(3.0)
+        assert metrics.throughput() == pytest.approx(8.0)
+
+    def test_zero_duration_throughput(self):
+        assert Metrics().throughput() == 0.0
+
+    def test_counters(self):
+        metrics = Metrics()
+        metrics.record_write(1.0)
+        metrics.record_read(1.0)
+        assert metrics.counters.writes_completed == 1
+        assert metrics.counters.reads_completed == 1
+
+
+class TestToDict:
+    def test_round_trips_through_json(self):
+        import json
+        metrics = Metrics()
+        metrics.started_at, metrics.finished_at = 0.0, 1.0
+        metrics.record_write(2e-6)
+        metrics.record_read(1e-6)
+        payload = json.loads(json.dumps(metrics.to_dict()))
+        assert payload["write_latency"]["count"] == 1
+        assert payload["write_throughput_ops"] == 1.0
+        assert payload["counters"]["reads_completed"] == 1

@@ -1,0 +1,140 @@
+"""Unit tests for the event layer."""
+
+import pytest
+
+from repro.errors import EventAlreadyTriggered, SimulationError
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestEvent:
+    def test_untriggered_has_no_value(self, sim):
+        event = sim.event()
+        assert not event.triggered
+        with pytest.raises(SimulationError):
+            _ = event.value
+
+    def test_succeed_delivers_value(self, sim):
+        event = sim.event()
+        event.succeed(42)
+        assert event.triggered and event.ok
+        assert event.value == 42
+
+    def test_succeed_none_is_triggered(self, sim):
+        event = sim.event()
+        event.succeed()
+        assert event.triggered
+        assert event.value is None
+
+    def test_double_succeed_raises(self, sim):
+        event = sim.event()
+        event.succeed(1)
+        with pytest.raises(EventAlreadyTriggered):
+            event.succeed(2)
+
+    def test_fail_then_succeed_raises(self, sim):
+        event = sim.event()
+        event.fail(ValueError("boom"))
+        with pytest.raises(EventAlreadyTriggered):
+            event.succeed()
+
+    def test_fail_requires_exception(self, sim):
+        event = sim.event()
+        with pytest.raises(SimulationError):
+            event.fail("not an exception")
+
+    def test_failed_event_value_raises_original(self, sim):
+        event = sim.event()
+        event.fail(ValueError("boom"))
+        assert event.triggered and not event.ok
+        with pytest.raises(ValueError, match="boom"):
+            _ = event.value
+
+    def test_callback_after_processing_runs_immediately(self, sim):
+        event = sim.event()
+        event.succeed("x")
+        sim.run()
+        seen = []
+        event.add_callback(lambda e: seen.append(e.value))
+        assert seen == ["x"]
+
+
+class TestTimeout:
+    def test_fires_after_delay(self, sim):
+        results = []
+
+        def proc():
+            value = yield sim.timeout(2.5, value="done")
+            results.append((sim.now, value))
+
+        sim.spawn(proc())
+        sim.run()
+        assert results == [(2.5, "done")]
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.timeout(-1.0)
+
+    def test_zero_delay_allowed(self, sim):
+        def proc():
+            yield sim.timeout(0.0)
+            return sim.now
+
+        assert sim.run_process(proc()) == 0.0
+
+
+class TestAllOf:
+    def test_waits_for_all(self, sim):
+        def proc():
+            values = yield sim.all_of([sim.timeout(1, value="a"),
+                                       sim.timeout(3, value="b"),
+                                       sim.timeout(2, value="c")])
+            return (sim.now, values)
+
+        now, values = sim.run_process(proc())
+        assert now == 3
+        assert values == ["a", "b", "c"]  # construction order, not firing
+
+    def test_empty_all_of_fires_immediately(self, sim):
+        def proc():
+            values = yield sim.all_of([])
+            return values
+
+        assert sim.run_process(proc()) == []
+
+    def test_child_failure_propagates(self, sim):
+        bad = sim.event()
+
+        def failer():
+            yield sim.timeout(1)
+            bad.fail(RuntimeError("child failed"))
+
+        def proc():
+            yield sim.all_of([sim.timeout(5), bad])
+
+        sim.spawn(failer())
+        process = sim.spawn(proc())
+        sim.strict = False
+        sim.run()
+        assert process.triggered and not process.ok
+
+
+class TestAnyOf:
+    def test_first_wins(self, sim):
+        def proc():
+            event, value = yield sim.any_of([sim.timeout(5, value="slow"),
+                                             sim.timeout(1, value="fast")])
+            return (sim.now, value)
+
+        now, value = sim.run_process(proc())
+        assert now == 1
+        assert value == "fast"
+
+    def test_cross_simulator_composite_rejected(self, sim):
+        other = Simulator()
+        with pytest.raises(SimulationError):
+            sim.all_of([other.timeout(1)])

@@ -1,0 +1,283 @@
+"""Unit and property tests for synchronization primitives."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.sim import BoundedBuffer, Gate, Lock, Resource, Simulator, Store
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestGate:
+    def test_fire_wakes_all_waiters(self, sim):
+        gate = Gate(sim)
+        woken = []
+
+        def waiter(tag):
+            yield gate.wait()
+            woken.append((tag, sim.now))
+
+        for tag in range(3):
+            sim.spawn(waiter(tag))
+
+        def firer():
+            yield sim.timeout(5)
+            assert gate.fire("v") == 3
+
+        sim.spawn(firer())
+        sim.run()
+        assert woken == [(0, 5), (1, 5), (2, 5)]
+
+    def test_fire_with_no_waiters(self, sim):
+        gate = Gate(sim)
+        assert gate.fire() == 0
+
+    def test_wait_for_rechecks_predicate(self, sim):
+        gate = Gate(sim)
+        counter = {"n": 0}
+
+        def waiter():
+            yield from gate.wait_for(lambda: counter["n"] >= 3)
+            return sim.now
+
+        def bumper():
+            for _ in range(3):
+                yield sim.timeout(1)
+                counter["n"] += 1
+                gate.fire()
+
+        sim.spawn(bumper())
+        assert sim.run_process(waiter()) == 3
+
+    def test_wait_for_true_predicate_returns_immediately(self, sim):
+        gate = Gate(sim)
+
+        def waiter():
+            yield from gate.wait_for(lambda: True)
+            return sim.now
+
+        assert sim.run_process(waiter()) == 0.0
+
+
+class TestStore:
+    def test_fifo_order(self, sim):
+        store = Store(sim)
+        got = []
+
+        def consumer():
+            for _ in range(3):
+                item = yield store.get()
+                got.append(item)
+
+        for item in "abc":
+            store.put(item)
+        sim.spawn(consumer())
+        sim.run()
+        assert got == ["a", "b", "c"]
+
+    def test_get_blocks_until_put(self, sim):
+        store = Store(sim)
+
+        def consumer():
+            item = yield store.get()
+            return (sim.now, item)
+
+        def producer():
+            yield sim.timeout(7)
+            store.put("late")
+
+        sim.spawn(producer())
+        assert sim.run_process(consumer()) == (7, "late")
+
+    def test_getters_served_fifo(self, sim):
+        store = Store(sim)
+        served = []
+
+        def consumer(tag):
+            item = yield store.get()
+            served.append((tag, item))
+
+        for tag in range(2):
+            sim.spawn(consumer(tag))
+
+        def producer():
+            yield sim.timeout(1)
+            store.put("x")
+            store.put("y")
+
+        sim.spawn(producer())
+        sim.run()
+        assert served == [(0, "x"), (1, "y")]
+
+    def test_len(self, sim):
+        store = Store(sim)
+        store.put(1)
+        store.put(2)
+        assert len(store) == 2
+
+
+class TestBoundedBuffer:
+    def test_put_blocks_when_full(self, sim):
+        buf = BoundedBuffer(sim, capacity=1)
+        log = []
+
+        def producer():
+            yield buf.put("a")
+            log.append(("put-a", sim.now))
+            yield buf.put("b")
+            log.append(("put-b", sim.now))
+
+        def consumer():
+            yield sim.timeout(10)
+            item = yield buf.get()
+            log.append(("got", item, sim.now))
+
+        sim.spawn(producer())
+        sim.spawn(consumer())
+        sim.run()
+        assert log == [("put-a", 0), ("got", "a", 10), ("put-b", 10)]
+
+    def test_capacity_validation(self, sim):
+        with pytest.raises(SimulationError):
+            BoundedBuffer(sim, capacity=0)
+
+    def test_unbounded_never_blocks(self, sim):
+        buf = BoundedBuffer(sim, capacity=None)
+
+        def producer():
+            for i in range(100):
+                yield buf.put(i)
+            return sim.now
+
+        assert sim.run_process(producer()) == 0.0
+        assert len(buf) == 100
+
+    def test_handoff_to_waiting_getter(self, sim):
+        buf = BoundedBuffer(sim, capacity=1)
+        result = []
+
+        def consumer():
+            item = yield buf.get()
+            result.append(item)
+
+        sim.spawn(consumer())
+
+        def producer():
+            yield sim.timeout(1)
+            yield buf.put("direct")
+
+        sim.spawn(producer())
+        sim.run()
+        assert result == ["direct"]
+        assert len(buf) == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(items=st.lists(st.integers(), max_size=30),
+           capacity=st.integers(min_value=1, max_value=4))
+    def test_fifo_preserved_for_any_capacity(self, items, capacity):
+        sim = Simulator()
+        buf = BoundedBuffer(sim, capacity=capacity)
+        received = []
+
+        def producer():
+            for item in items:
+                yield buf.put(item)
+
+        def consumer():
+            for _ in items:
+                value = yield buf.get()
+                received.append(value)
+                yield sim.timeout(1)
+
+        sim.spawn(producer())
+        sim.spawn(consumer())
+        sim.run()
+        assert received == items
+
+
+class TestResource:
+    def test_capacity_enforced(self, sim):
+        res = Resource(sim, 2)
+        active = {"now": 0, "peak": 0}
+
+        def worker():
+            yield res.request()
+            active["now"] += 1
+            active["peak"] = max(active["peak"], active["now"])
+            yield sim.timeout(1)
+            active["now"] -= 1
+            res.release()
+
+        for _ in range(6):
+            sim.spawn(worker())
+        sim.run()
+        assert active["peak"] == 2
+        assert sim.now == 3  # 6 jobs, 2 at a time, 1s each
+
+    def test_release_idle_raises(self, sim):
+        res = Resource(sim, 1)
+        with pytest.raises(SimulationError):
+            res.release()
+
+    def test_available_accounting(self, sim):
+        res = Resource(sim, 3)
+
+        def proc():
+            yield res.request()
+            assert res.available == 2
+            res.release()
+            assert res.available == 3
+
+        sim.run_process(proc())
+
+
+class TestLock:
+    def test_mutual_exclusion(self, sim):
+        lock = Lock(sim)
+        order = []
+
+        def worker(tag):
+            yield lock.acquire()
+            order.append(("enter", tag, sim.now))
+            yield sim.timeout(2)
+            order.append(("exit", tag, sim.now))
+            lock.release()
+
+        sim.spawn(worker("a"))
+        sim.spawn(worker("b"))
+        sim.run()
+        assert order == [("enter", "a", 0), ("exit", "a", 2),
+                         ("enter", "b", 2), ("exit", "b", 4)]
+
+    def test_held_property(self, sim):
+        lock = Lock(sim)
+
+        def proc():
+            assert not lock.held
+            yield lock.acquire()
+            assert lock.held
+            lock.release()
+            assert not lock.held
+
+        sim.run_process(proc())
+
+
+class TestGateIntrospection:
+    def test_waiter_count(self):
+        sim = Simulator()
+        gate = Gate(sim, label="g")
+
+        def waiter():
+            yield gate.wait()
+
+        sim.spawn(waiter())
+        sim.spawn(waiter())
+        sim.run(until=0)
+        assert gate.waiter_count == 2
+        gate.fire()
+        assert gate.waiter_count == 0

@@ -1,0 +1,139 @@
+"""Cross-module integration tests: whole-cluster scenarios that combine
+workloads, failures, scopes, tracing, and both architectures."""
+
+import pytest
+
+from repro import (ALL_MODELS, LIN_SCOPE, LIN_SYNCH, MINOS_B, MINOS_O,
+                   MinosCluster, YcsbWorkload)
+from repro.core.recovery import RecoveryManager
+from repro.hw.params import MachineParams, us
+from repro.workloads.ycsb import OpKind
+
+ARCHES = [MINOS_B, MINOS_O]
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("config", ARCHES, ids=lambda c: c.name)
+    def test_identical_runs_produce_identical_metrics(self, config):
+        def run():
+            cluster = MinosCluster(model=LIN_SYNCH, config=config,
+                                   params=MachineParams(nodes=3))
+            workload = YcsbWorkload(records=50, requests_per_client=25,
+                                    write_fraction=0.5, seed=13)
+            metrics = cluster.run_workload(workload, clients_per_node=2)
+            return (metrics.write_latency.samples,
+                    metrics.read_latency.samples,
+                    cluster.sim.now)
+
+        assert run() == run()
+
+
+class TestScopeWorkload:
+    @pytest.mark.parametrize("config", ARCHES, ids=lambda c: c.name)
+    def test_ycsb_with_periodic_persists(self, config):
+        """<Lin, Scope> end-to-end through run_workload: every scope is
+        eventually persisted on every replica."""
+        cluster = MinosCluster(model=LIN_SCOPE, config=config,
+                               params=MachineParams(nodes=3))
+        workload = YcsbWorkload(records=40, requests_per_client=20,
+                                write_fraction=0.6, seed=21,
+                                persist_every=4)
+        metrics = cluster.run_workload(workload, clients_per_node=2)
+        assert metrics.counters.scope_persist_txns > 0
+        assert metrics.persist_latency.count == \
+            metrics.counters.scope_persist_txns
+        # Quiescent cluster: durable state matches volatile state.
+        for node in cluster.nodes:
+            for key, versioned in node.kv.table.items():
+                if versioned.ts.version > 0:  # touched by the workload
+                    assert node.kv.durable_value(key) == versioned.value
+
+
+class TestRecoveryUnderLoad:
+    @pytest.mark.parametrize("config", ARCHES, ids=lambda c: c.name)
+    def test_crash_midload_then_rejoin_converges(self, config):
+        cluster = MinosCluster(model=LIN_SYNCH, config=config,
+                               params=MachineParams(nodes=3))
+        manager = RecoveryManager(cluster, heartbeat_interval=us(20),
+                                  timeout=us(100))
+        for node in cluster.nodes:
+            node.engine.tolerate_stale_acks = True
+        cluster.load_records([(f"k{i}", "v0") for i in range(10)])
+        sim = cluster.sim
+
+        def survivor_load(node_id):
+            for i in range(12):
+                yield from cluster.nodes[node_id].engine.client_write(
+                    f"k{i % 10}", f"n{node_id}-i{i}")
+
+        manager.crash(2)
+        drivers = [sim.spawn(survivor_load(n)) for n in (0, 1)]
+        sim.run(until=sim.now + us(3000))
+        assert all(d.triggered for d in drivers)
+        process = manager.recover(2)
+        sim.run(until=sim.now + us(3000))
+        assert process.triggered
+        # The rejoined node converged to the survivors' state.
+        for i in range(10):
+            reference = cluster.nodes[0].kv.volatile_read(f"k{i}")
+            recovered = cluster.nodes[2].kv.volatile_read(f"k{i}")
+            assert recovered.ts == reference.ts, f"k{i}"
+            assert recovered.value == reference.value
+
+
+class TestMessageAccounting:
+    def test_offload_puts_fewer_messages_on_the_wire(self):
+        """MINOS-O's broadcast fans out in hardware: per write it
+        serializes 2 network messages at the coordinator (INV + VAL
+        broadcasts) instead of MINOS-B's 2x(n-1)."""
+        results = {}
+        for config in ARCHES:
+            cluster = MinosCluster(model=LIN_SYNCH, config=config)
+            cluster.load_records([("k", "v0")])
+            cluster.write(0, "k", "v1")
+            cluster.sim.run()
+            node0 = cluster.nodes[0]
+            sent = (node0.snic or node0.nic).messages_sent
+            results[config.name] = sent
+        assert results["MINOS-B"] == 8   # 4 INVs + 4 VALs
+        assert results["MINOS-O"] == 2   # 1 INV bcast + 1 VAL bcast
+
+    @pytest.mark.parametrize("config", ARCHES, ids=lambda c: c.name)
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: m.name)
+    def test_ack_counts_match_protocol(self, config, model):
+        """Every model sends exactly the ACK traffic Figures 2-3/7
+        prescribe for one uncontended write on 3 nodes (2 followers)."""
+        cluster = MinosCluster(model=model, config=config,
+                               params=MachineParams(nodes=3))
+        cluster.load_records([("k", "v0")])
+        cluster.write(0, "k", "v1")
+        cluster.sim.run()
+        acks = cluster.metrics.counters.acks_sent
+        if model.split_acks:       # Strict, REnf: ACK_C + ACK_P each
+            assert acks == 4
+        else:                      # Synch: ACK; Event/Scope: ACK_C
+            assert acks == 2
+
+
+class TestMixedTraffic:
+    @pytest.mark.parametrize("config", ARCHES, ids=lambda c: c.name)
+    def test_hot_key_storm_with_readers(self, config):
+        """Many writers on one hot key plus readers on all nodes: no
+        deadlock, all ops finish, replicas converge."""
+        cluster = MinosCluster(model=LIN_SYNCH, config=config,
+                               params=MachineParams(nodes=4))
+        cluster.load_records([("hot", "v0")])
+        sim = cluster.sim
+        procs = []
+        for node in range(4):
+            for i in range(3):
+                procs.append(sim.spawn(
+                    cluster.nodes[node].engine.client_write(
+                        "hot", f"n{node}w{i}")))
+            procs.append(sim.spawn(
+                cluster.nodes[node].engine.client_read("hot")))
+        sim.run()
+        assert all(p.triggered for p in procs)
+        reference = cluster.nodes[0].kv.volatile_read("hot")
+        for node in cluster.nodes:
+            assert node.kv.volatile_read("hot").ts == reference.ts

@@ -1,0 +1,77 @@
+"""Tests for the protocol tracer."""
+
+import pytest
+
+from repro import LIN_SYNCH, MINOS_B, MINOS_O, MinosCluster
+from repro.hw.params import MachineParams
+from repro.trace import TraceEvent, Tracer
+from repro.sim import Simulator
+
+
+class TestTracer:
+    def test_emit_and_select(self):
+        sim = Simulator()
+        tracer = Tracer(sim)
+        tracer.emit(0, "write", "start", key="k")
+        tracer.emit(1, "follower", "INV received", key="k")
+        assert len(tracer) == 2
+        assert len(tracer.select(category="write")) == 1
+        assert len(tracer.select(node=1)) == 1
+        assert len(tracer.select(label_contains="INV")) == 1
+        assert tracer.categories() == {"write": 1, "follower": 1}
+
+    def test_event_details(self):
+        sim = Simulator()
+        tracer = Tracer(sim)
+        tracer.emit(0, "write", "start", key="k", latency_us=1.5)
+        event = tracer.events[0]
+        assert event.detail("key") == "k"
+        assert event.detail("missing", 42) == 42
+        assert "key=k" in str(event)
+
+    def test_empty_timeline(self):
+        assert Tracer(Simulator()).timeline() == "(no events)"
+
+
+class TestClusterTracing:
+    @pytest.mark.parametrize("config", [MINOS_B, MINOS_O],
+                             ids=lambda c: c.name)
+    def test_write_lifecycle_recorded_in_order(self, config):
+        cluster = MinosCluster(model=LIN_SYNCH, config=config,
+                               params=MachineParams(nodes=3))
+        tracer = cluster.attach_tracer()
+        cluster.load_records([("k", "v0")])
+        cluster.write(0, "k", "v1")
+        cluster.sim.run()
+        write_events = tracer.select(category="write", node=0)
+        labels = [e.label for e in write_events]
+        assert labels[0] == "start"
+        assert labels[-1] == "complete"
+        # Both followers handled the INV.
+        followers = {e.node for e in tracer.select(category="follower")}
+        assert followers == {1, 2}
+        # Durability happened on every node.
+        persist_nodes = {e.node for e in tracer.select(category="persist")}
+        assert persist_nodes == {0, 1, 2}
+
+    def test_timeline_renders_lanes(self):
+        cluster = MinosCluster(model=LIN_SYNCH, config=MINOS_O,
+                               params=MachineParams(nodes=2))
+        tracer = cluster.attach_tracer()
+        cluster.load_records([("k", "v0")])
+        cluster.write(0, "k", "v1")
+        cluster.sim.run()
+        text = tracer.timeline()
+        assert "node 0" in text and "node 1" in text
+        assert "write:start" in text
+
+    def test_events_monotone_in_time(self):
+        cluster = MinosCluster(model=LIN_SYNCH, config=MINOS_B,
+                               params=MachineParams(nodes=2))
+        tracer = cluster.attach_tracer()
+        cluster.load_records([("k", "v0")])
+        cluster.write(0, "k", "v1")
+        cluster.write(1, "k", "v2")
+        cluster.sim.run()
+        times = [e.time for e in tracer.events]
+        assert times == sorted(times)

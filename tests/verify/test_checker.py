@@ -1,0 +1,87 @@
+"""Tests for the explicit-state model checker itself."""
+
+import pytest
+
+from repro.errors import VerificationError
+from repro.verify.checker import CheckResult, ModelChecker
+
+
+class CounterSpec:
+    """A tiny spec: count 0..limit, optionally with defects injected."""
+
+    def __init__(self, limit=3, deadlock_at=None, livelock_at=None,
+                 bad_invariant=False):
+        self.limit = limit
+        self.deadlock_at = deadlock_at
+        self.livelock_at = livelock_at
+        if bad_invariant:
+            self.invariants = [("count below 2", lambda s: s < 2)]
+        else:
+            self.invariants = [("non-negative", lambda s: s >= 0)]
+
+    def initial_states(self):
+        yield 0
+
+    def actions(self, state):
+        if state == self.deadlock_at:
+            return
+        if state == self.livelock_at:
+            yield ("spin", 999)  # a side loop that never terminates
+            return
+        if state == 999:
+            yield ("spin", 999)
+            return
+        if state < self.limit:
+            yield ("inc", state + 1)
+
+    def is_terminal(self, state):
+        return state == self.limit
+
+
+class TestChecker:
+    def test_clean_spec_passes(self):
+        result = ModelChecker(CounterSpec()).check()
+        assert result.ok
+        assert result.states == 4
+        assert result.terminal_states == 1
+
+    def test_invariant_violation_with_trace(self):
+        result = ModelChecker(CounterSpec(bad_invariant=True)).check()
+        assert not result.ok
+        violation = result.violations[0]
+        assert violation.kind == "invariant"
+        assert violation.trace == ("inc", "inc")  # state 2 reached
+
+    def test_deadlock_detected(self):
+        result = ModelChecker(CounterSpec(deadlock_at=2)).check()
+        assert not result.ok
+        assert result.violations[0].kind == "deadlock"
+
+    def test_livelock_detected(self):
+        result = ModelChecker(CounterSpec(livelock_at=1)).check()
+        assert any(v.kind == "livelock" for v in result.violations)
+
+    def test_max_states_guard(self):
+        class Unbounded:
+            invariants = ()
+
+            def initial_states(self):
+                yield 0
+
+            def actions(self, state):
+                yield ("inc", state + 1)
+
+            def is_terminal(self, state):
+                return False
+
+        with pytest.raises(VerificationError, match="max_states"):
+            ModelChecker(Unbounded(), max_states=100).check()
+
+    def test_raise_on_violation(self):
+        result = ModelChecker(CounterSpec(bad_invariant=True)).check()
+        with pytest.raises(VerificationError):
+            result.raise_on_violation()
+
+    def test_result_str(self):
+        result = ModelChecker(CounterSpec()).check()
+        assert "OK" in str(result)

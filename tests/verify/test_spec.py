@@ -1,0 +1,137 @@
+"""Model-checking the MINOS protocols (paper §VI, Table I)."""
+
+import pytest
+
+from repro.core.model import ALL_MODELS, LIN_SCOPE, LIN_STRICT, LIN_SYNCH
+from repro.verify import ModelChecker, ProtocolSpec, WriteDef
+from repro.verify import spec as S
+
+
+@pytest.mark.parametrize("offload", [False, True],
+                         ids=["MINOS-B", "MINOS-O"])
+@pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: m.name)
+def test_two_conflicting_writes_verify(model, offload):
+    """The paper's headline verification result: every model passes all
+    Table I conditions (two concurrent writes to one key, two nodes)."""
+    spec = ProtocolSpec(model=model, nodes=2,
+                        writes=(WriteDef(0), WriteDef(1)), offload=offload)
+    result = ModelChecker(spec).check()
+    assert result.ok, result.violations[:1]
+    assert result.terminal_states > 0
+
+
+def test_three_nodes_single_write_synch():
+    spec = ProtocolSpec(model=LIN_SYNCH, nodes=3, writes=(WriteDef(0),))
+    result = ModelChecker(spec).check()
+    assert result.ok
+    assert result.states > 20
+
+
+def test_two_keys_independent_writes():
+    spec = ProtocolSpec(model=LIN_SYNCH, nodes=2,
+                        writes=(WriteDef(0, key=0), WriteDef(1, key=1)))
+    result = ModelChecker(spec).check()
+    assert result.ok
+
+
+def test_scope_model_includes_persist_txn():
+    spec = ProtocolSpec(model=LIN_SCOPE, nodes=2,
+                        writes=(WriteDef(0), WriteDef(1)))
+    assert spec.persist_coord == 0
+    result = ModelChecker(spec).check()
+    assert result.ok
+
+
+def test_non_scope_models_have_no_persist_txn():
+    spec = ProtocolSpec(model=LIN_SYNCH, nodes=2, writes=(WriteDef(0),))
+    assert spec.persist_coord is None
+
+
+class TestMutationsAreCaught:
+    """Break the protocol; the checker must notice (checker soundness)."""
+
+    def test_premature_glb_advance_violates_2c(self):
+        """A coordinator that marks glb_volatileTS before collecting the
+        ACKs breaks invariant 2c."""
+        spec = ProtocolSpec(model=LIN_SYNCH, nodes=2, writes=(WriteDef(0),))
+        original = spec._launch_or_obsolete
+
+        def broken(state, w):
+            for label, nxt in original(state, w):
+                if label.startswith("launch"):
+                    records, writes, msgs, tasks, pt = nxt
+                    ts = writes[w][0]
+                    coord = spec.writes_def[w].coord
+                    ki = spec.key_index(spec.writes_def[w].key)
+                    rec = list(records[coord][ki])
+                    rec[1] = ts  # glb_volatileTS := TS_WR, way too early
+                    records = spec._set_record(records, coord, ki,
+                                               tuple(rec))
+                    nxt = (records, writes, msgs, tasks, pt)
+                yield label, nxt
+
+        spec._launch_or_obsolete = broken
+        result = ModelChecker(spec).check()
+        assert not result.ok
+        assert any("2c" in v.name for v in result.violations)
+
+    def test_skipping_acks_violates_visibility(self):
+        """A coordinator that declares completion without waiting for
+        ACKs breaks linearizable visibility."""
+        spec = ProtocolSpec(model=LIN_SYNCH, nodes=2, writes=(WriteDef(0),))
+        original = spec._coordinator_progress
+
+        def broken(state, w):
+            records, writes, msgs, tasks, pt = state
+            ts, phase, acks_c, acks_p = writes[w]
+            if phase == S.WAIT:
+                # Complete instantly, ACKs be damned.
+                done = spec._set_write(writes, w, (ts, S.DONE, acks_c,
+                                                   acks_p))
+                yield (f"cheat(w{w})", (records, done, msgs, tasks, pt))
+                return
+            yield from original(state, w)
+
+        spec._coordinator_progress = broken
+        result = ModelChecker(spec).check()
+        assert not result.ok
+        names = {v.name for v in result.violations}
+        assert any("visibility" in n or "durability" in n or "2" in n
+                   for n in names)
+
+    def test_unlocking_before_persist_violates_read_enforcement(self):
+        """Synch: releasing the RDLock at the coordinator before ALL
+        followers persisted lets a read see unpersisted data (needs three
+        nodes so that one ACK is not yet all ACKs)."""
+        spec = ProtocolSpec(model=LIN_SYNCH, nodes=3, writes=(WriteDef(0),))
+        original = spec._deliver_ack
+
+        def broken(state, msg):
+            for label, nxt in original(state, msg):
+                records, writes, msgs, tasks, pt = nxt
+                w = msg[1]
+                ts = writes[w][0]
+                coord = spec.writes_def[w].coord
+                ki = spec.key_index(spec.writes_def[w].key)
+                rec = list(records[coord][ki])
+                if rec[3] == ts:
+                    rec[3] = S.NULL  # release the lock on first ACK
+                    records = spec._set_record(records, coord, ki,
+                                               tuple(rec))
+                yield label, (records, writes, msgs, tasks, pt)
+
+        spec._deliver_ack = broken
+        result = ModelChecker(spec).check()
+        assert not result.ok
+
+
+class TestConfigValidation:
+    def test_too_few_nodes(self):
+        from repro.errors import ConfigError
+        with pytest.raises(ConfigError):
+            ProtocolSpec(nodes=1)
+
+    def test_bad_coordinator(self):
+        from repro.errors import ConfigError
+        with pytest.raises(ConfigError):
+            ProtocolSpec(nodes=2, writes=(WriteDef(5),))

@@ -1,0 +1,51 @@
+"""Tests for the DeathStar-style microservice functions."""
+
+import random
+
+from repro.workloads.deathstar import (CLIENT_RTT, DEATHSTAR_FUNCTIONS,
+                                       MEDIA_LOGIN, SOCIAL_LOGIN)
+from repro.workloads.ycsb import OpKind
+
+
+class TestFunctions:
+    def test_rtt_is_papers_500us(self):
+        assert CLIENT_RTT == 500e-6
+
+    def test_both_functions_registered(self):
+        assert SOCIAL_LOGIN in DEATHSTAR_FUNCTIONS
+        assert MEDIA_LOGIN in DEATHSTAR_FUNCTIONS
+
+    def test_invocation_matches_template(self):
+        rng = random.Random(0)
+        ops = SOCIAL_LOGIN.invocation(rng)
+        assert len(ops) == len(SOCIAL_LOGIN.ops)
+        kinds = [op.kind for op in ops]
+        expected = [OpKind.READ if entry[0] == "get" else OpKind.WRITE
+                    for entry in SOCIAL_LOGIN.ops]
+        assert kinds == expected
+
+    def test_media_login_heavier_than_social(self):
+        assert len(MEDIA_LOGIN.ops) > len(SOCIAL_LOGIN.ops)
+
+    def test_global_keys_shared_across_users(self):
+        seen = set()
+        for seed in range(10):
+            for op in SOCIAL_LOGIN.invocation(random.Random(seed)):
+                if "stats:" in op.key:
+                    seen.add(op.key)
+        # Global stats keys carry no user suffix: few distinct keys.
+        assert seen == {"social:stats:daily_logins",
+                        "social:stats:active_users"}
+
+    def test_per_user_keys_vary(self):
+        keys = set()
+        for seed in range(20):
+            ops = MEDIA_LOGIN.invocation(random.Random(seed))
+            keys.add(ops[0].key)  # the ("get", "user") entry
+        assert len(keys) > 1
+
+    def test_initial_records_cover_all_invocation_keys(self):
+        initial = {key for key, _v in SOCIAL_LOGIN.initial_records()}
+        for seed in range(30):
+            for op in SOCIAL_LOGIN.invocation(random.Random(seed)):
+                assert op.key in initial

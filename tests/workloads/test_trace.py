@@ -1,0 +1,86 @@
+"""Tests for explicit trace workloads."""
+
+import pytest
+
+from repro import LIN_SCOPE, LIN_SYNCH, MINOS_B, MinosCluster
+from repro.errors import ConfigError
+from repro.hw.params import MachineParams
+from repro.workloads.trace import TraceWorkload, parse_trace
+from repro.workloads.ycsb import OpKind
+
+
+class TestBuilder:
+    def test_fluent_construction(self):
+        wl = (TraceWorkload()
+              .add_record("k", "v0")
+              .write(0, "k", "v1")
+              .read(1, "k")
+              .persist(0, scope=7))
+        assert len(wl) == 3
+        assert wl.records == [("k", "v0")]
+        assert wl.max_clients == 1
+
+    def test_ops_for_routing(self):
+        wl = TraceWorkload().write(0, "k", "a").write(1, "k", "b", client=2)
+        assert [op.value for op in wl.ops_for(0, 0)] == ["a"]
+        assert [op.value for op in wl.ops_for(1, 2)] == ["b"]
+        assert list(wl.ops_for(3, 0)) == []
+        assert wl.max_clients == 3
+
+
+class TestParser:
+    def test_full_grammar(self):
+        wl = parse_trace("""
+            # a comment
+            init user1 hello
+            0 w user1 v1
+            1 r user1
+            2.1 w@7 user1 v2
+            0 p 7
+        """)
+        assert wl.records == [("user1", "hello")]
+        ops0 = list(wl.ops_for(0, 0))
+        assert ops0[0].kind is OpKind.WRITE
+        assert ops0[1].kind is OpKind.PERSIST and ops0[1].scope == 7
+        scoped = list(wl.ops_for(2, 1))[0]
+        assert scoped.scope == 7
+
+    def test_parse_errors_carry_line_numbers(self):
+        with pytest.raises(ConfigError, match="line 2"):
+            parse_trace("0 w k v\nbogus line here")
+        with pytest.raises(ConfigError):
+            parse_trace("0 x k")
+
+    def test_empty_trace(self):
+        wl = parse_trace("# nothing\n\n")
+        assert len(wl) == 0
+
+
+class TestReplay:
+    def test_replay_through_cluster(self):
+        wl = parse_trace("""
+            init k v0
+            0 w k v1
+            1 r k
+        """)
+        cluster = MinosCluster(model=LIN_SYNCH, config=MINOS_B,
+                               params=MachineParams(nodes=2))
+        metrics = cluster.run_workload(wl, clients_per_node=wl.max_clients)
+        assert metrics.counters.writes_completed == 1
+        assert metrics.counters.reads_completed == 1
+        assert cluster.nodes[1].kv.volatile_read("k").value == "v1"
+
+    def test_replay_scope_trace(self):
+        wl = parse_trace("""
+            init a v0
+            init b v0
+            0 w@5 a x
+            0 w@5 b y
+            0 p 5
+        """)
+        cluster = MinosCluster(model=LIN_SCOPE, config=MINOS_B,
+                               params=MachineParams(nodes=2))
+        cluster.run_workload(wl, clients_per_node=1)
+        for node in cluster.nodes:
+            assert node.kv.durable_value("a") == "x"
+            assert node.kv.durable_value("b") == "y"

@@ -1,0 +1,97 @@
+"""Tests for the YCSB-style workload generator."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads.ycsb import Op, OpKind, YcsbWorkload, record_key
+
+
+class TestStreams:
+    def test_request_count(self):
+        wl = YcsbWorkload(records=50, requests_per_client=40)
+        ops = list(wl.ops_for(0, 0))
+        assert len(ops) == 40
+
+    def test_write_fraction_respected(self):
+        wl = YcsbWorkload(records=100, requests_per_client=2000,
+                          write_fraction=0.3, seed=11)
+        ops = list(wl.ops_for(1, 0))
+        writes = sum(1 for op in ops if op.kind is OpKind.WRITE)
+        assert 0.25 < writes / len(ops) < 0.35
+
+    def test_pure_read_and_pure_write(self):
+        reads = list(YcsbWorkload(requests_per_client=50,
+                                  write_fraction=0.0).ops_for(0, 0))
+        writes = list(YcsbWorkload(requests_per_client=50,
+                                   write_fraction=1.0).ops_for(0, 0))
+        assert all(op.kind is OpKind.READ for op in reads)
+        assert all(op.kind is OpKind.WRITE for op in writes)
+
+    def test_deterministic_per_client(self):
+        wl = YcsbWorkload(records=100, requests_per_client=30, seed=9)
+        assert list(wl.ops_for(2, 1)) == list(wl.ops_for(2, 1))
+
+    def test_clients_get_distinct_streams(self):
+        wl = YcsbWorkload(records=100, requests_per_client=30, seed=9)
+        assert list(wl.ops_for(0, 0)) != list(wl.ops_for(1, 0))
+
+    def test_keys_within_database(self):
+        wl = YcsbWorkload(records=10, requests_per_client=200)
+        valid = {record_key(i) for i in range(10)}
+        for op in wl.ops_for(0, 0):
+            assert op.key in valid
+
+
+class TestInitialRecords:
+    def test_count_and_keys(self):
+        wl = YcsbWorkload(records=7)
+        records = list(wl.initial_records())
+        assert len(records) == 7
+        assert records[0][0] == "user0"
+
+
+class TestScopes:
+    def test_persist_every_inserts_persist_ops(self):
+        wl = YcsbWorkload(records=10, requests_per_client=30,
+                          write_fraction=1.0, persist_every=5)
+        ops = list(wl.ops_for(0, 0))
+        persists = [op for op in ops if op.kind is OpKind.PERSIST]
+        writes = [op for op in ops if op.kind is OpKind.WRITE]
+        assert len(writes) == 30
+        assert len(persists) == 6  # every 5 writes
+
+    def test_scope_ids_advance_after_persist(self):
+        wl = YcsbWorkload(records=10, requests_per_client=10,
+                          write_fraction=1.0, persist_every=2)
+        ops = list(wl.ops_for(0, 0))
+        scopes = {op.scope for op in ops if op.kind is OpKind.PERSIST}
+        assert len(scopes) == 5
+
+    def test_trailing_persist_flushes_open_scope(self):
+        wl = YcsbWorkload(records=10, requests_per_client=3,
+                          write_fraction=1.0, persist_every=10)
+        ops = list(wl.ops_for(0, 0))
+        assert ops[-1].kind is OpKind.PERSIST
+
+
+class TestValidation:
+    def test_bad_parameters(self):
+        with pytest.raises(ConfigError):
+            YcsbWorkload(records=0)
+        with pytest.raises(ConfigError):
+            YcsbWorkload(write_fraction=1.5)
+        with pytest.raises(ConfigError):
+            YcsbWorkload(persist_every=0)
+
+
+class TestPresets:
+    def test_standard_core_workloads(self):
+        from repro.workloads.ycsb import YcsbWorkload
+        assert YcsbWorkload.workload_a().write_fraction == 0.5
+        assert YcsbWorkload.workload_b().write_fraction == 0.05
+        assert YcsbWorkload.workload_c().write_fraction == 0.0
+
+    def test_presets_accept_overrides(self):
+        from repro.workloads.ycsb import YcsbWorkload
+        wl = YcsbWorkload.workload_b(records=7, seed=1)
+        assert wl.records == 7 and wl.write_fraction == 0.05

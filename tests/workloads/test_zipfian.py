@@ -1,0 +1,106 @@
+"""Tests for the key-popularity generators."""
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.workloads.zipfian import (ScrambledZipfian, UniformGenerator,
+                                     ZipfianGenerator, make_generator, zeta)
+
+
+class TestZeta:
+    def test_known_values(self):
+        assert zeta(1, 0.5) == pytest.approx(1.0)
+        assert zeta(3, 1e-9) == pytest.approx(3.0, rel=1e-6)
+
+    def test_cached(self):
+        assert zeta(1000, 0.99) is not None
+        assert zeta(1000, 0.99) == zeta(1000, 0.99)
+
+
+class TestZipfian:
+    def test_rank_zero_is_most_popular(self):
+        gen = ZipfianGenerator(1000, rng=random.Random(1))
+        counts = Counter(gen.next() for _ in range(20_000))
+        assert counts[0] == max(counts.values())
+        # Head heaviness: rank 0 drawn far more often than uniform would.
+        assert counts[0] > 20_000 / 1000 * 20
+
+    @settings(max_examples=20, deadline=None)
+    @given(n=st.integers(min_value=1, max_value=5000),
+           seed=st.integers(min_value=0, max_value=99))
+    def test_draws_within_bounds(self, n, seed):
+        gen = ZipfianGenerator(n, rng=random.Random(seed))
+        for _ in range(50):
+            assert 0 <= gen.next() < n
+
+    def test_deterministic_given_seed(self):
+        a = ZipfianGenerator(100, rng=random.Random(7))
+        b = ZipfianGenerator(100, rng=random.Random(7))
+        assert [a.next() for _ in range(50)] == [b.next() for _ in range(50)]
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ZipfianGenerator(0)
+        with pytest.raises(ConfigError):
+            ZipfianGenerator(10, theta=1.0)
+
+
+class TestScrambled:
+    def test_within_bounds_and_skewed(self):
+        gen = ScrambledZipfian(500, rng=random.Random(3))
+        counts = Counter(gen.next() for _ in range(10_000))
+        assert all(0 <= k < 500 for k in counts)
+        # Still skewed: the hottest key dominates.
+        assert max(counts.values()) > 10_000 / 500 * 10
+
+    def test_hot_key_not_rank_zero(self):
+        """Scrambling spreads hot keys over the key space."""
+        gen = ScrambledZipfian(500, rng=random.Random(3))
+        counts = Counter(gen.next() for _ in range(5_000))
+        hottest = max(counts, key=counts.get)
+        assert hottest != 0
+
+
+class TestUniform:
+    def test_covers_space(self):
+        gen = UniformGenerator(20, rng=random.Random(5))
+        seen = {gen.next() for _ in range(2000)}
+        assert seen == set(range(20))
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            UniformGenerator(0)
+
+
+class TestFactory:
+    def test_factory_choices(self):
+        assert isinstance(make_generator("zipfian", 10), ScrambledZipfian)
+        assert isinstance(make_generator("uniform", 10), UniformGenerator)
+        with pytest.raises(ConfigError):
+            make_generator("pareto", 10)
+
+
+class TestDistributionShape:
+    def test_zipfian_frequencies_match_theory(self):
+        """Observed rank frequencies track 1/rank^theta (loose fit)."""
+        import math
+        n, theta, draws = 50, 0.99, 60_000
+        gen = ZipfianGenerator(n, theta=theta, rng=random.Random(11))
+        counts = Counter(gen.next() for _ in range(draws))
+        z = zeta(n, theta)
+        for rank in (0, 1, 4, 9):
+            expected = draws * (1.0 / (rank + 1) ** theta) / z
+            observed = counts.get(rank, 0)
+            assert observed == pytest.approx(expected, rel=0.25), rank
+
+    def test_uniform_frequencies_flat(self):
+        n, draws = 20, 40_000
+        gen = UniformGenerator(n, rng=random.Random(3))
+        counts = Counter(gen.next() for _ in range(draws))
+        for key in range(n):
+            assert counts[key] == pytest.approx(draws / n, rel=0.15)
