@@ -1,0 +1,262 @@
+"""Self-contained PEP 517/660 build backend for the ``repro`` package.
+
+The reproduction must install with ``pip install -e .`` in *offline*
+environments that carry only the standard library (no ``setuptools``, no
+``wheel``).  This backend therefore implements the build hooks by hand:
+
+* :func:`build_wheel` — a regular wheel containing the whole ``src/repro``
+  tree;
+* :func:`build_editable` — a PEP 660 editable wheel whose only payload is
+  a ``.pth`` file pointing at ``src/``;
+* :func:`build_sdist` — a ``.tar.gz`` of the project sources;
+* the ``prepare_metadata_*`` and ``get_requires_*`` hooks.
+
+Project metadata is read from ``pyproject.toml`` (via :mod:`tomllib` on
+Python >= 3.11, with a minimal fallback parser for 3.10) so the backend
+never drifts from the declared name/version/dependencies.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import io
+import re
+import tarfile
+import zipfile
+from pathlib import Path
+
+#: Project root (the directory holding pyproject.toml).
+ROOT = Path(__file__).resolve().parent.parent
+
+_WHEEL_TAG = "py3-none-any"
+
+
+# ---------------------------------------------------------------------------
+# pyproject.toml metadata
+# ---------------------------------------------------------------------------
+
+def _fallback_parse(text: str) -> dict:
+    """Extract the handful of fields this backend needs on Python 3.10
+    (no tomllib).  Handles the flat single-line style pyproject.toml of
+    this project; not a general TOML parser."""
+    def scalar(key: str) -> str:
+        match = re.search(rf'^{key}\s*=\s*"([^"]*)"', text, re.MULTILINE)
+        return match.group(1) if match else ""
+
+    def str_list(key: str) -> list:
+        match = re.search(rf'^{key}\s*=\s*\[(.*?)\]', text,
+                          re.MULTILINE | re.DOTALL)
+        if not match:
+            return []
+        return re.findall(r'"([^"]+)"', match.group(1))
+
+    scripts = {}
+    block = re.search(r'^\[project\.scripts\]\n(.*?)(?:\n\[|\Z)', text,
+                      re.MULTILINE | re.DOTALL)
+    if block:
+        for line in block.group(1).splitlines():
+            match = re.match(r'^([\w.-]+)\s*=\s*"([^"]+)"', line.strip())
+            if match:
+                scripts[match.group(1)] = match.group(2)
+    return {
+        "project": {
+            "name": scalar("name"),
+            "version": scalar("version"),
+            "description": scalar("description"),
+            "requires-python": scalar("requires-python"),
+            "dependencies": str_list("dependencies"),
+            "scripts": scripts,
+        }
+    }
+
+
+def _load_project() -> dict:
+    text = (ROOT / "pyproject.toml").read_text(encoding="utf-8")
+    try:
+        import tomllib
+    except ImportError:  # Python 3.10
+        return _fallback_parse(text)["project"]
+    return tomllib.loads(text)["project"]
+
+
+def _dist_name(project: dict) -> str:
+    return re.sub(r"[-_.]+", "_", project["name"])
+
+
+def _metadata_text(project: dict) -> str:
+    lines = [
+        "Metadata-Version: 2.1",
+        f"Name: {project['name']}",
+        f"Version: {project['version']}",
+    ]
+    if project.get("description"):
+        lines.append(f"Summary: {project['description']}")
+    if project.get("requires-python"):
+        lines.append(f"Requires-Python: {project['requires-python']}")
+    lines.append("License: MIT")
+    for dep in project.get("dependencies", ()):
+        lines.append(f"Requires-Dist: {dep}")
+    return "\n".join(lines) + "\n"
+
+
+def _wheel_text() -> str:
+    return ("Wheel-Version: 1.0\n"
+            "Generator: repro_build_backend 1.0\n"
+            "Root-Is-Purelib: true\n"
+            f"Tag: {_WHEEL_TAG}\n")
+
+
+def _entry_points_text(project: dict) -> str:
+    scripts = project.get("scripts", {})
+    if not scripts:
+        return ""
+    lines = ["[console_scripts]"]
+    for name, target in sorted(scripts.items()):
+        lines.append(f"{name} = {target}")
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Wheel assembly
+# ---------------------------------------------------------------------------
+
+def _record_digest(data: bytes) -> str:
+    digest = hashlib.sha256(data).digest()
+    encoded = base64.urlsafe_b64encode(digest).rstrip(b"=").decode("ascii")
+    return f"sha256={encoded}"
+
+
+class _WheelWriter:
+    """Accumulates wheel members, then writes the zip plus its RECORD."""
+
+    def __init__(self) -> None:
+        self._members: list = []  # (arcname, data)
+
+    def add(self, arcname: str, data) -> None:
+        if isinstance(data, str):
+            data = data.encode("utf-8")
+        self._members.append((arcname, data))
+
+    def write(self, path: Path, record_name: str) -> None:
+        record_lines = [
+            f"{arcname},{_record_digest(data)},{len(data)}"
+            for arcname, data in self._members
+        ]
+        record_lines.append(f"{record_name},,")
+        record = "\n".join(record_lines) + "\n"
+        with zipfile.ZipFile(path, "w", zipfile.ZIP_DEFLATED) as wheel:
+            for arcname, data in self._members:
+                wheel.writestr(arcname, data)
+            wheel.writestr(record_name, record)
+
+
+def _dist_info(project: dict, writer: _WheelWriter) -> str:
+    """Add the .dist-info members; returns the dist-info directory name."""
+    info = f"{_dist_name(project)}-{project['version']}.dist-info"
+    writer.add(f"{info}/METADATA", _metadata_text(project))
+    writer.add(f"{info}/WHEEL", _wheel_text())
+    entry_points = _entry_points_text(project)
+    if entry_points:
+        writer.add(f"{info}/entry_points.txt", entry_points)
+    writer.add(f"{info}/top_level.txt", "repro\n")
+    return info
+
+
+def _package_files() -> list:
+    """(arcname, path) pairs for every library source file under src/."""
+    src = ROOT / "src"
+    out = []
+    for path in sorted(src.rglob("*")):
+        if not path.is_file():
+            continue
+        if "__pycache__" in path.parts or path.suffix == ".pyc":
+            continue
+        out.append((path.relative_to(src).as_posix(), path))
+    return out
+
+
+def _wheel_filename(project: dict) -> str:
+    return f"{_dist_name(project)}-{project['version']}-{_WHEEL_TAG}.whl"
+
+
+# ---------------------------------------------------------------------------
+# PEP 517 hooks
+# ---------------------------------------------------------------------------
+
+def get_requires_for_build_wheel(config_settings=None) -> list:
+    return []
+
+
+def get_requires_for_build_editable(config_settings=None) -> list:
+    return []
+
+
+def get_requires_for_build_sdist(config_settings=None) -> list:
+    return []
+
+
+def prepare_metadata_for_build_wheel(metadata_directory,
+                                     config_settings=None) -> str:
+    project = _load_project()
+    info = f"{_dist_name(project)}-{project['version']}.dist-info"
+    target = Path(metadata_directory) / info
+    target.mkdir(parents=True, exist_ok=True)
+    (target / "METADATA").write_text(_metadata_text(project),
+                                     encoding="utf-8")
+    (target / "WHEEL").write_text(_wheel_text(), encoding="utf-8")
+    entry_points = _entry_points_text(project)
+    if entry_points:
+        (target / "entry_points.txt").write_text(entry_points,
+                                                 encoding="utf-8")
+    (target / "top_level.txt").write_text("repro\n", encoding="utf-8")
+    return info
+
+
+def prepare_metadata_for_build_editable(metadata_directory,
+                                        config_settings=None) -> str:
+    return prepare_metadata_for_build_wheel(metadata_directory,
+                                            config_settings)
+
+
+def build_wheel(wheel_directory, config_settings=None,
+                metadata_directory=None) -> str:
+    project = _load_project()
+    writer = _WheelWriter()
+    for arcname, path in _package_files():
+        writer.add(arcname, path.read_bytes())
+    info = _dist_info(project, writer)
+    name = _wheel_filename(project)
+    writer.write(Path(wheel_directory) / name, f"{info}/RECORD")
+    return name
+
+
+def build_editable(wheel_directory, config_settings=None,
+                   metadata_directory=None) -> str:
+    project = _load_project()
+    writer = _WheelWriter()
+    writer.add(f"__editable__.{project['name']}.pth",
+               str(ROOT / "src") + "\n")
+    info = _dist_info(project, writer)
+    name = _wheel_filename(project)
+    writer.write(Path(wheel_directory) / name, f"{info}/RECORD")
+    return name
+
+
+def build_sdist(sdist_directory, config_settings=None) -> str:
+    project = _load_project()
+    base = f"{_dist_name(project)}-{project['version']}"
+    name = f"{base}.tar.gz"
+    top_files = ["pyproject.toml", "README.md", "_build/repro_build_backend.py"]
+    with tarfile.open(Path(sdist_directory) / name, "w:gz") as tar:
+        for rel in top_files:
+            path = ROOT / rel
+            if path.exists():
+                tar.add(path, arcname=f"{base}/{rel}")
+        for arcname, path in _package_files():
+            tar.add(path, arcname=f"{base}/src/{arcname}")
+        pkg_info = io.BytesIO(_metadata_text(project).encode("utf-8"))
+        info = tarfile.TarInfo(f"{base}/PKG-INFO")
+        info.size = len(pkg_info.getvalue())
+        tar.addfile(info, pkg_info)
+    return name

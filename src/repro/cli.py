@@ -7,6 +7,9 @@ Commands:
 * ``figure``     — regenerate one of the paper's evaluation artifacts
   (fig4, fig9, fig10, fig11, fig12, fig13, fig14, tab1).
 * ``verify``     — model-check a protocol configuration (Table I).
+* ``chaos``      — run a workload under seeded fault injection
+  (loss/duplication/delay + crash/restart) and check the runtime
+  invariants afterwards.
 * ``trace``      — trace a single replicated write and print the
   per-node protocol timeline.
 * ``sweep``      — cartesian parameter sweeps over experiment points.
@@ -69,6 +72,34 @@ def _build_parser() -> argparse.ArgumentParser:
     figure.add_argument("name", choices=sorted(FIGURES))
     figure.add_argument("--scale", default="smoke",
                         choices=("smoke", "default", "full"))
+
+    chaos = sub.add_parser(
+        "chaos", help="run a workload under seeded fault injection and "
+        "check runtime invariants")
+    chaos.add_argument("--arch", default="MINOS-B",
+                       help="architecture preset (see `configs`)")
+    chaos.add_argument("--model", default="synch",
+                       help="DDP model (see `models`)")
+    chaos.add_argument("--nodes", type=int, default=4)
+    chaos.add_argument("--records", type=int, default=50)
+    chaos.add_argument("--requests", type=int, default=30)
+    chaos.add_argument("--clients", type=int, default=2)
+    chaos.add_argument("--write-fraction", type=float, default=0.8)
+    chaos.add_argument("--seed", type=int, default=42)
+    chaos.add_argument("--drop", type=float, default=0.01,
+                       help="per-packet loss probability")
+    chaos.add_argument("--duplicate", type=float, default=0.0,
+                       help="per-packet duplication probability")
+    chaos.add_argument("--delay", type=float, default=0.0,
+                       help="per-packet extra-delay probability")
+    chaos.add_argument("--crash-node", type=int, default=None,
+                       help="crash this node mid-run")
+    chaos.add_argument("--crash-at", type=float, default=100.0,
+                       help="crash time in us")
+    chaos.add_argument("--restore-at", type=float, default=600.0,
+                       help="restart time in us (-1: stay down)")
+    chaos.add_argument("--json", action="store_true",
+                       help="emit the full chaos report as JSON")
 
     verify = sub.add_parser("verify", help="model-check a protocol")
     verify.add_argument("--model", default="synch")
@@ -142,6 +173,61 @@ def _cmd_figure(args) -> int:
     print(f"=== {args.name} (scale={args.scale}) ===")
     print(format_table(rows))
     return 0
+
+
+def _cmd_chaos(args) -> int:
+    from repro.cluster.cluster import MinosCluster
+    from repro.faults import CrashWindow, FaultPlan, run_chaos
+    from repro.hw.params import us
+    from repro.workloads.ycsb import YcsbWorkload
+
+    crashes = ()
+    if args.crash_node is not None:
+        restore = None if args.restore_at < 0 else us(args.restore_at)
+        crashes = (CrashWindow(node=args.crash_node, at=us(args.crash_at),
+                               restore_at=restore),)
+    plan = FaultPlan.lossy(seed=args.seed, drop=args.drop,
+                           duplicate=args.duplicate, delay=args.delay,
+                           crashes=crashes)
+    cluster = MinosCluster(model=model_by_name(args.model),
+                           config=config_by_name(args.arch),
+                           params=DEFAULT_MACHINE.with_nodes(args.nodes))
+    workload = YcsbWorkload(records=args.records,
+                            requests_per_client=args.requests,
+                            write_fraction=args.write_fraction,
+                            seed=args.seed)
+    result = run_chaos(cluster, plan, workload,
+                       clients_per_node=args.clients)
+    if args.json:
+        import json
+
+        payload = result.to_dict()
+        payload["experiment"] = (f"{args.arch}/{args.model} "
+                                 f"nodes={args.nodes} seed={args.seed}")
+        print(json.dumps(payload, indent=2))
+        return 0 if result.ok else 1
+    faults = result.fault_counters
+    counters = cluster.metrics.counters
+    print(f"chaos: {args.arch} {cluster.model.name} nodes={args.nodes} "
+          f"seed={args.seed}")
+    print(f"  injected      : {faults.dropped} dropped, "
+          f"{faults.duplicated} duplicated, {faults.delayed} delayed, "
+          f"{faults.partition_drops} partition drops "
+          f"({faults.inspected} packets inspected)")
+    print(f"  robustness    : {counters.inv_retransmits} INV retransmits, "
+          f"{counters.val_rebroadcasts} VAL re-broadcasts, "
+          f"{counters.dedup_inv_hits}+{counters.dedup_ack_hits} "
+          "duplicates suppressed")
+    print(f"  recovery      : {result.detections} detections, "
+          f"{result.rejoins} rejoins")
+    print(f"  workload      : completed={result.completed} "
+          f"writes={counters.writes_completed} "
+          f"reads={counters.reads_completed}")
+    print(f"  invariants    : {result.checks} checks — "
+          + ("all passed" if not result.violations else "VIOLATED"))
+    for violation in result.violations:
+        print(f"  VIOLATION: {violation}")
+    return 0 if result.ok else 1
 
 
 def _cmd_verify(args) -> int:
@@ -230,6 +316,7 @@ def _cmd_configs(_args) -> int:
 
 
 _COMMANDS = {
+    "chaos": _cmd_chaos,
     "experiment": _cmd_experiment,
     "figure": _cmd_figure,
     "report": _cmd_report,

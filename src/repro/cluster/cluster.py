@@ -93,16 +93,57 @@ class MinosCluster:
         self.nodes = [Node(self.sim, node_id, params, model, config,
                            self.network, self.metrics, peers)
                       for node_id in peers]
+        #: Installed :class:`repro.faults.FaultInjector` (None: fault-free).
+        self.fault_injector = None
+        self.tracer = None
 
     def attach_tracer(self):
-        """Attach a :class:`repro.trace.Tracer` to every engine and
-        return it.  Protocol events are recorded from this point on."""
+        """Attach a :class:`repro.trace.Tracer` to every engine (and the
+        fault injector, if one is installed) and return it.  Protocol
+        events are recorded from this point on."""
         from repro.trace import Tracer
 
         tracer = Tracer(self.sim)
+        self.tracer = tracer
         for node in self.nodes:
             node.engine.tracer = tracer
+        if self.fault_injector is not None:
+            self.fault_injector.tracer = tracer
         return tracer
+
+    # -- fault injection --------------------------------------------------------
+
+    def enable_faults(self, plan, manager=None):
+        """Install a :class:`repro.faults.FaultPlan` on this cluster.
+
+        Creates the :class:`~repro.faults.FaultInjector`, attaches it to
+        every fabric port, switches every engine into robustness mode
+        (retransmit timers, duplicate suppression, stale-ACK tolerance)
+        with the plan's :class:`~repro.faults.RetransmitPolicy`, and
+        spawns drivers for the plan's crash windows.  Pass the cluster's
+        :class:`~repro.core.recovery.RecoveryManager` as *manager* so
+        scheduled restarts go through the full rejoin/catch-up exchange.
+
+        Returns the injector (its ``counters`` record what was injected).
+        """
+        from repro.faults import FaultInjector
+
+        if self.fault_injector is not None:
+            raise ConfigError("fault plan already installed")
+        for window in plan.crashes:
+            if not 0 <= window.node < len(self.nodes):
+                raise ConfigError(
+                    f"crash window targets node {window.node} but the "
+                    f"cluster has nodes 0..{len(self.nodes) - 1}")
+        injector = FaultInjector(self.sim, plan)
+        injector.tracer = self.tracer
+        self.network.install_fault_injector(injector)
+        self.fault_injector = injector
+        for node in self.nodes:
+            node.engine.robustness = plan.retransmit
+            node.engine.tolerate_stale_acks = True
+        injector.schedule_crashes(self, manager)
+        return injector
 
     # -- database ---------------------------------------------------------------
 
@@ -207,11 +248,26 @@ class MinosCluster:
 
     # -- failure injection hooks (see repro.core.recovery) ---------------------------------
 
-    def crash(self, node_id: int) -> None:
-        """Crash a node: it stops processing any traffic."""
-        self.nodes[node_id].engine.crashed = True
+    def crash(self, node_id: int) -> int:
+        """Crash a node: its engine stops processing, its (Smart)NIC is
+        halted, and everything queued in its mailboxes is dropped — a
+        crashed machine does not keep transmitting envelopes its host
+        deposited before dying, nor does queued-but-unprocessed traffic
+        survive into the restarted incarnation.  Returns the number of
+        queued packets dropped."""
+        node = self.nodes[node_id]
+        node.engine.crashed = True
+        device = node.snic if node.snic is not None else node.nic
+        dropped = device.halt()
+        dropped += node.host.inbox.clear()
+        return dropped
 
     def restore(self, node_id: int) -> None:
-        """Un-crash a node (protocol state catch-up is the recovery
-        manager's job; see :class:`repro.core.recovery.RecoveryManager`)."""
-        self.nodes[node_id].engine.crashed = False
+        """Un-crash a node: the engine resumes and its (Smart)NIC starts
+        forwarding again, with empty queues (protocol state catch-up is
+        the recovery manager's job; see
+        :class:`repro.core.recovery.RecoveryManager`)."""
+        node = self.nodes[node_id]
+        device = node.snic if node.snic is not None else node.nic
+        device.resume()
+        node.engine.crashed = False

@@ -81,10 +81,38 @@ class BaselineEngine(EngineBase):
     def _deposit_vals(self, type: MsgType, key: Any, ts: Timestamp,
                       scope: Optional[int], write_id: int,
                       persist_id: Optional[int] = None):
-        msg = Message(type=type, key=key, ts=ts, src=self.node_id,
-                      scope=scope, persist_id=persist_id, write_id=write_id)
+        msg = self.stamp(Message(type=type, key=key, ts=ts, src=self.node_id,
+                                 scope=scope, persist_id=persist_id,
+                                 write_id=write_id))
         yield from self._deposit_fanout(msg, self.params.control_size)
         self.metrics.counters.vals_sent += len(self.peers)
+        if self.robustness is not None and self.robustness.val_resends > 0:
+            # VAL-family messages carry no acknowledgement, so loss cannot
+            # be detected; re-broadcast blindly (receivers are idempotent).
+            self.sim.spawn(self._val_rebroadcast(msg),
+                           name=f"n{self.node_id}.valrtx.w{write_id}")
+
+    def _val_rebroadcast(self, msg: Message):
+        policy = self.robustness
+        delay = policy.base_timeout
+        for _ in range(policy.val_resends):
+            yield self.sim.timeout(delay)
+            self.metrics.counters.val_rebroadcasts += 1
+            self.trace("robust", "VAL rebroadcast", type=msg.type.name,
+                       write_id=msg.write_id)
+            yield from self._deposit_fanout(msg, self.params.control_size)
+            delay = policy.next_timeout(delay)
+
+    def _resend(self, msg: Message, targets):
+        """Retransmit path: re-deposit *msg* (same seq) per target."""
+        size = (self.record_size(msg) if msg.type is MsgType.INV
+                else self.params.control_size)
+        yield from self.host.compute(
+            self.params.host.msg_send_cost * len(targets))
+        for peer in targets:
+            self.nic.host_deposit(Envelope(
+                payload=msg, size_bytes=size, src_node=self.node_id,
+                dst=peer))
 
     def _send_control(self, dst: int, msg: Message):
         """Deposit a single control message (ACK family) for *dst*,
@@ -94,6 +122,13 @@ class BaselineEngine(EngineBase):
             payload=msg, size_bytes=self.params.control_size,
             src_node=self.node_id, dst=dst))
         self.metrics.counters.acks_sent += 1
+
+    def _reply(self, msg: Message, ack_type: MsgType):
+        """Send an ACK-family reply to *msg*, recording it so a duplicate
+        delivery of *msg* can be answered verbatim (robustness mode)."""
+        reply = msg.reply(ack_type, self.node_id)
+        self.record_reply(msg, reply)
+        yield from self._send_control(msg.src, reply)
 
     # ======================================================================
     # Coordinator: client-write (Fig. 2 left, Fig. 3 deltas)
@@ -131,13 +166,14 @@ class BaselineEngine(EngineBase):
         yield from self.host.sync_op()
         txn: Optional[WriteTxn] = None
         if not meta.is_obsolete(ts):  # line 10: final timestamp check
-            msg = Message(type=MsgType.INV, key=key, ts=ts,
-                          src=self.node_id, value=value, scope=scope,
-                          size=size)
+            msg = self.stamp(Message(type=MsgType.INV, key=key, ts=ts,
+                                     src=self.node_id, value=value,
+                                     scope=scope, size=size))
             txn = self.register_txn(key, ts, msg.write_id)
             txn.inv_deposited_at = self.sim.now
-            self.trace("write", "INVs deposited", key=key, ts=str(ts))
+            self.trace("write", "INVs deposited", key=key, ts=ts)
             yield from self._deposit_invs(msg)  # line 11: send INVs
+            self.watch_retransmits(txn, msg, self._resend)
             yield self.host.llc.access(self.record_size(size))  # line 12
             self.kv.volatile_write(key, value, ts)
             meta.wrlock.release()  # line 13
@@ -160,15 +196,15 @@ class BaselineEngine(EngineBase):
                 name=f"n{self.node_id}.bgpersist.w{txn.write_id}")
         yield from self._coordinator_finish(txn, meta, key, ts, scope)
         latency = self.record_write_metrics(txn, started)
-        self.trace("write", "complete", key=key, ts=str(ts),
-                   latency_us=round(latency * 1e6, 3))
+        self.trace("write", "complete", key=key, ts=ts,
+                   latency_s=latency)
         return WriteResult(key, ts, False, latency)
 
     def _persist_record(self, key, value, ts, scope) -> None:
         """Logical durability point: append to the NVM log."""
         self.kv.persist(key, value, ts, scope=scope)
         self.metrics.counters.persists += 1
-        self.trace("persist", "NVM", key=key, ts=str(ts))
+        self.trace("persist", "NVM", key=key, ts=ts)
 
     def _local_persist(self, key, value, ts, scope, txn: WriteTxn) -> None:
         self._persist_record(key, value, ts, scope)
@@ -266,10 +302,12 @@ class BaselineEngine(EngineBase):
         started = self.sim.now
         yield from self.host.compute(self.params.host.request_overhead)
         persist_id = next_persist_id()
-        msg = Message(type=MsgType.PERSIST, key=None, ts=NULL_TS,
-                      src=self.node_id, scope=scope, persist_id=persist_id)
+        msg = self.stamp(Message(type=MsgType.PERSIST, key=None, ts=NULL_TS,
+                                 src=self.node_id, scope=scope,
+                                 persist_id=persist_id))
         txn = self.register_txn(None, NULL_TS, msg.write_id)
         yield from self._deposit_fanout(msg, self.params.control_size)
+        self.watch_retransmits(txn, msg, self._resend)
         # Complete all local persists belonging to the scope, plus the
         # [PERSIST]sc bookkeeping record itself.
         yield from self.scope_tracker.wait_scope_durable(scope)
@@ -305,8 +343,8 @@ class BaselineEngine(EngineBase):
             meta.wrlock.release()
             self.metrics.counters.writes_obsolete += 1
             return WriteResult(key, ts, True, self.sim.now - started)
-        msg = Message(type=MsgType.INV, key=key, ts=ts, src=self.node_id,
-                      value=value, size=size)
+        msg = self.stamp(Message(type=MsgType.INV, key=key, ts=ts,
+                                 src=self.node_id, value=value, size=size))
         yield from self._deposit_invs(msg)  # lazy propagation
         yield self.host.llc.access(self.record_size(size))
         self.kv.volatile_write(key, value, ts)
@@ -320,8 +358,8 @@ class BaselineEngine(EngineBase):
                            name=f"n{self.node_id}.ecpersist")
         latency = self.sim.now - started
         self.metrics.record_write(latency)
-        self.trace("write", "complete (EC)", key=key, ts=str(ts),
-                   latency_us=round(latency * 1e6, 3))
+        self.trace("write", "complete (EC)", key=key, ts=ts,
+                   latency_s=latency)
         return WriteResult(key, ts, False, latency)
 
     def _ec_background_persist(self, key, value, ts, size=None):
@@ -374,17 +412,32 @@ class BaselineEngine(EngineBase):
         yield from self.host.compute(self.params.host.msg_handler_cost)
         if msg.type.is_ack:
             self._handle_ack(msg)
-        elif msg.type is MsgType.INV:
-            if self.model.is_eventual_consistency:
+        elif msg.type in (MsgType.INV, MsgType.PERSIST):
+            replies = self.dedup_inv(msg)
+            if replies is not None:
+                yield from self._answer_duplicate(msg, replies)
+            elif msg.type is MsgType.PERSIST:
+                yield from self._follower_persist(msg)
+            elif self.model.is_eventual_consistency:
                 yield from self._ec_follower_inv(msg)
             else:
                 yield from self._follower_inv(msg)
         elif msg.type.is_val:
             yield from self._follower_val(msg)
-        elif msg.type is MsgType.PERSIST:
-            yield from self._follower_persist(msg)
         else:
             raise ProtocolError(f"unhandled message {msg}")
+
+    def _answer_duplicate(self, msg: Message, replies):
+        """A duplicate INV/PERSIST delivery: re-send the ACKs the original
+        produced, verbatim.  Re-running the handler instead would deadlock
+        under Strict/REnf — ``_ack_obsolete``'s consistency spin waits for
+        a VAL the coordinator cannot send until it gets the very ACK being
+        re-requested."""
+        self.metrics.counters.dedup_inv_hits += 1
+        self.trace("robust", "duplicate suppressed", type=msg.type.name,
+                   write_id=msg.write_id, resent=len(replies))
+        for reply in list(replies):
+            yield from self._send_control(msg.src, reply)
 
     def _handle_ack(self, msg: Message) -> None:
         txn = self.txn(msg.write_id)
@@ -392,7 +445,8 @@ class BaselineEngine(EngineBase):
             if self.tolerate_stale_acks:
                 return
             raise ProtocolError(f"ACK for unknown write: {msg}")
-        txn.on_ack(msg)
+        if not txn.on_ack(msg, strict=self.robustness is None):
+            self.metrics.counters.dedup_ack_hits += 1
 
     def _ack_obsolete(self, meta: RecordMeta, msg: Message):
         """Fig. 2 lines 27-30 / Fig. 3 letters h-j: the received write is
@@ -401,23 +455,20 @@ class BaselineEngine(EngineBase):
         p = self.model.persistency
         if p in (P.STRICT, P.READ_ENFORCED):
             yield from meta.consistency_spin()
-            yield from self._send_control(msg.src, msg.reply(MsgType.ACK_C,
-                                                  self.node_id))
+            yield from self._reply(msg, MsgType.ACK_C)
             yield from meta.persistency_spin()
-            yield from self._send_control(msg.src, msg.reply(MsgType.ACK_P,
-                                                  self.node_id))
+            yield from self._reply(msg, MsgType.ACK_P)
         elif p is P.SYNCHRONOUS:
             yield from self.handle_obsolete(meta)
-            yield from self._send_control(msg.src, msg.reply(MsgType.ACK, self.node_id))
+            yield from self._reply(msg, MsgType.ACK)
         else:  # EVENTUAL, SCOPE: no persistency tracking
             yield from meta.consistency_spin()
-            yield from self._send_control(msg.src, msg.reply(MsgType.ACK_C,
-                                                  self.node_id))
+            yield from self._reply(msg, MsgType.ACK_C)
 
     def _follower_inv(self, msg: Message):
         """Fig. 2 lines 26-40 (Follower INV handling)."""
         handling_started = self.sim.now
-        self.trace("follower", "INV received", key=msg.key, ts=str(msg.ts))
+        self.trace("follower", "INV received", key=msg.key, ts=msg.ts)
         params = self.params
         meta = self.kv.meta(msg.key)
         p = self.model.persistency
@@ -450,23 +501,18 @@ class BaselineEngine(EngineBase):
         if p is P.SYNCHRONOUS:
             yield self.host.nvm.persist(self.record_size(msg))  # line 39
             self._persist_record(msg.key, msg.value, msg.ts, msg.scope)
-            yield from self._send_control(msg.src, msg.reply(MsgType.ACK,
-                                                  self.node_id))  # line 40
+            yield from self._reply(msg, MsgType.ACK)  # line 40
         elif p is P.STRICT:
-            yield from self._send_control(msg.src, msg.reply(MsgType.ACK_C,
-                                                  self.node_id))
+            yield from self._reply(msg, MsgType.ACK_C)
             yield self.host.nvm.persist(self.record_size(msg))
             self._persist_record(msg.key, msg.value, msg.ts, msg.scope)
-            yield from self._send_control(msg.src, msg.reply(MsgType.ACK_P,
-                                                  self.node_id))
+            yield from self._reply(msg, MsgType.ACK_P)
         elif p is P.READ_ENFORCED:
-            yield from self._send_control(msg.src, msg.reply(MsgType.ACK_C,
-                                                  self.node_id))
+            yield from self._reply(msg, MsgType.ACK_C)
             self.sim.spawn(self._renf_follower_persist(msg),
                            name=f"n{self.node_id}.fpersist.w{msg.write_id}")
         else:  # EVENTUAL, SCOPE
-            yield from self._send_control(msg.src, msg.reply(MsgType.ACK_C,
-                                                  self.node_id))
+            yield from self._reply(msg, MsgType.ACK_C)
             scope_event = (self.scope_tracker.register_write(msg.scope)
                            if msg.scope is not None else None)
             self.sim.spawn(self._eventual_persist(msg, scope_event),
@@ -476,7 +522,7 @@ class BaselineEngine(EngineBase):
         """REnf: persist off the critical path, then send ACK_P."""
         yield self.host.nvm.persist(self.record_size(msg))
         self._persist_record(msg.key, msg.value, msg.ts, msg.scope)
-        yield from self._send_control(msg.src, msg.reply(MsgType.ACK_P, self.node_id))
+        yield from self._reply(msg, MsgType.ACK_P)
 
     def _eventual_persist(self, msg: Message, scope_event):
         """Event/Scope: persist eventually; no persistency messages."""
@@ -509,4 +555,4 @@ class BaselineEngine(EngineBase):
         [ACK_P]sc."""
         yield from self.scope_tracker.wait_scope_durable(msg.scope)
         yield self.host.nvm.persist(self.params.control_size)
-        yield from self._send_control(msg.src, msg.reply(MsgType.ACK_P, self.node_id))
+        yield from self._reply(msg, MsgType.ACK_P)

@@ -9,6 +9,8 @@ algorithms live in :mod:`repro.core.baseline` and :mod:`repro.core.offload`.
 
 from __future__ import annotations
 
+import itertools
+from collections import deque
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
@@ -94,8 +96,16 @@ class WriteTxn:
         if (self.expected - self.excluded) <= bucket and not event.triggered:
             event.succeed()
 
-    def on_ack(self, msg: Message) -> None:
-        """Record an ACK/ACK_C/ACK_P from ``msg.src``."""
+    def on_ack(self, msg: Message, strict: bool = True) -> bool:
+        """Record an ACK/ACK_C/ACK_P from ``msg.src``.
+
+        A duplicate (same type, same sender) raises by default: on the
+        fault-free path it can only mean a protocol bug.  With
+        ``strict=False`` (the engines pass this while a fault plan is
+        installed, where duplicated or retransmitted-and-then-delivered
+        ACKs are expected) duplicates are suppressed idempotently and
+        ``False`` is returned; ``True`` means the ACK was fresh.
+        """
         if msg.type is MsgType.ACK:
             bucket, event = self.acks, self.all_acks
         elif msg.type is MsgType.ACK_C:
@@ -105,12 +115,20 @@ class WriteTxn:
         else:
             raise ProtocolError(f"not an ACK: {msg}")
         if msg.src in bucket:
-            raise ProtocolError(
-                f"duplicate {msg.type.name} from node {msg.src} for "
-                f"write {self.write_id}")
+            if strict:
+                raise ProtocolError(
+                    f"duplicate {msg.type.name} from node {msg.src} for "
+                    f"write {self.write_id}")
+            return False
         bucket.add(msg.src)
         self.last_ack_at = self.sim.now
         self._check(bucket, event)
+        return True
+
+    def missing(self, bucket: set) -> set:
+        """Peers still expected to contribute to *bucket* (retransmit
+        targets): expected minus excluded minus already-acknowledged."""
+        return self.expected - self.excluded - bucket
 
     def exclude(self, node_id: int) -> None:
         """Stop waiting for *node_id* (it was declared failed)."""
@@ -155,11 +173,125 @@ class EngineBase:
         self.crashed = False
         #: Optional repro.trace.Tracer; attach via MinosCluster.attach_tracer.
         self.tracer = None
+        #: Optional repro.faults.RetransmitPolicy — set by
+        #: ``MinosCluster.enable_faults``.  ``None`` (the default) keeps
+        #: every robustness mechanism off: no sequence stamping, no
+        #: retransmit timers, no dedup bookkeeping, so the fault-free
+        #: event calendar is untouched.
+        self.robustness = None
+        self._seq_counter = itertools.count(1)
+        #: Follower-side INV dedup: (src, seq) -> ACK replies already sent
+        #: for that INV, so a duplicate delivery re-sends the recorded
+        #: replies verbatim instead of re-running the handler.
+        self._inv_replies: Dict[tuple, List[Message]] = {}
+        self._inv_reply_order: deque = deque()
+
+    #: Bound on remembered INV keys (oldest evicted first); generous for
+    #: any simulated run while keeping long chaos runs O(1) in memory.
+    INV_REPLY_CAP = 4096
 
     def trace(self, category: str, label: str, **details) -> None:
         """Emit a protocol trace event if a tracer is attached."""
         if self.tracer is not None:
             self.tracer.emit(self.node_id, category, label, **details)
+
+    # -- robustness layer (active only under an installed fault plan) -------
+
+    def stamp(self, msg: Message) -> Message:
+        """Assign *msg* a fresh per-engine sequence number (robustness
+        mode only).  Retransmissions must NOT re-stamp: they reuse the
+        original seq, which is what lets receivers deduplicate."""
+        if self.robustness is not None:
+            msg.seq = next(self._seq_counter)
+        return msg
+
+    def dedup_inv(self, msg: Message) -> Optional[List[Message]]:
+        """Duplicate-INV (or PERSIST) check at a follower.
+
+        Returns ``None`` on first delivery — and registers the message so
+        later copies are recognized — or the list of ACK replies already
+        sent for it (possibly empty, when the original handler has not
+        acknowledged yet: the duplicate is then dropped silently, since
+        the in-flight handler will acknowledge).
+        """
+        if self.robustness is None or msg.seq is None:
+            return None
+        key = (msg.src, msg.seq)
+        replies = self._inv_replies.get(key)
+        if replies is not None:
+            return replies
+        self._inv_replies[key] = []
+        self._inv_reply_order.append(key)
+        while len(self._inv_reply_order) > self.INV_REPLY_CAP:
+            self._inv_replies.pop(self._inv_reply_order.popleft(), None)
+        return None
+
+    def record_reply(self, request: Message, reply: Message) -> None:
+        """Remember an ACK sent in response to *request* so a duplicate
+        delivery of the request can be answered verbatim."""
+        if self.robustness is None or request.seq is None:
+            return
+        replies = self._inv_replies.get((request.src, request.seq))
+        if replies is not None:
+            replies.append(reply)
+
+    def _retransmit_done_event(self, txn: WriteTxn) -> Event:
+        """When the coordinator may stop retransmitting: every ACK the
+        model's client-return AND epilogue conditions need has arrived."""
+        if txn.key is None:  # a [PERSIST]sc transaction: ACK_Ps only
+            return txn.all_ack_ps
+        p = self.model.persistency
+        if p is Persistency.SYNCHRONOUS:
+            return txn.all_acks
+        if p in (Persistency.STRICT, Persistency.READ_ENFORCED):
+            return self.sim.all_of([txn.all_ack_cs, txn.all_ack_ps])
+        return txn.all_ack_cs
+
+    def _retransmit_targets(self, txn: WriteTxn) -> set:
+        """Peers whose ACKs are still missing for *txn* (union over the
+        phases the model waits on)."""
+        if txn.key is None:
+            return set(txn.missing(txn.ack_ps))
+        p = self.model.persistency
+        if p is Persistency.SYNCHRONOUS:
+            return set(txn.missing(txn.acks))
+        if p in (Persistency.STRICT, Persistency.READ_ENFORCED):
+            return set(txn.missing(txn.ack_cs)) | set(txn.missing(txn.ack_ps))
+        return set(txn.missing(txn.ack_cs))
+
+    def _retransmit_loop(self, txn: WriteTxn, msg: Message, resend):
+        """Coordinator retransmit timer for one write (Fig. 2's "spin
+        until all ACKs" made loss-tolerant): while the ACK condition is
+        unmet, re-send *msg* to exactly the peers with missing ACKs, with
+        capped exponential backoff.  *resend* is the engine-specific
+        ``(msg, targets) -> generator`` send path.  Gives up after
+        ``max_retries`` — failure detection then excludes the dead peer,
+        which completes the transaction's ACK events.
+        """
+        policy = self.robustness
+        done = self._retransmit_done_event(txn)
+        delay = policy.base_timeout
+        for _attempt in range(policy.max_retries):
+            yield self.sim.any_of([done, self.sim.timeout(delay)])
+            if done.triggered:
+                return
+            targets = sorted(self._retransmit_targets(txn))
+            if not targets:
+                return
+            self.metrics.counters.inv_retransmits += 1
+            self.trace("robust", "retransmit", type=msg.type.name,
+                       write_id=txn.write_id, targets=targets)
+            yield from resend(msg, targets)
+            delay = policy.next_timeout(delay)
+        self.trace("robust", "retransmit give-up", type=msg.type.name,
+                   write_id=txn.write_id)
+
+    def watch_retransmits(self, txn: WriteTxn, msg: Message, resend) -> None:
+        """Arm the retransmit timer for *txn* (no-op when robustness is
+        off — the fault-free calendar gains no events)."""
+        if self.robustness is not None:
+            self.sim.spawn(self._retransmit_loop(txn, msg, resend),
+                           name=f"n{self.node_id}.rtx.w{txn.write_id}")
 
     # -- timestamps -----------------------------------------------------------
 

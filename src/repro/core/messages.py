@@ -75,6 +75,12 @@ class Message:
     #: Payload size in bytes; None means the machine's default record
     #: size.  Set per-write to model variable-sized records.
     size: Optional[int] = None
+    #: Per-sender sequence number stamping the message's *logical*
+    #: identity under fault injection: a retransmission reuses the
+    #: original's seq so receivers can deduplicate, and an ACK carries
+    #: the seq of the request it answers.  ``None`` on the fault-free
+    #: path (robustness disabled).
+    seq: Optional[int] = None
     write_id: int = field(default_factory=next_write_id)
 
     @property
@@ -86,7 +92,7 @@ class Message:
         type and sender, no payload."""
         return Message(type=type, key=self.key, ts=self.ts, src=src,
                        scope=self.scope, persist_id=self.persist_id,
-                       size=self.size, write_id=self.write_id)
+                       size=self.size, seq=self.seq, write_id=self.write_id)
 
     def __str__(self) -> str:
         sc = f"[sc{self.scope}]" if self.is_scoped else ""

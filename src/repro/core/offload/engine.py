@@ -83,7 +83,7 @@ class OffloadEngine(EngineBase):
             return
         yield self.snic.dma_to_host(entry.size_bytes)
         self.trace("snic", "vFIFO drained", key=entry.key,
-                   ts=str(entry.ts))
+                   ts=entry.ts)
         self.sim.spawn(self._vfifo_apply_tail(entry),
                        name=f"n{self.node_id}.vtail")
 
@@ -111,7 +111,7 @@ class OffloadEngine(EngineBase):
         self.kv.persist(entry.key, entry.value, entry.ts, scope=entry.scope)
         self.metrics.counters.persists += 1
         self.trace("persist", "dFIFO (durable)", key=entry.key,
-                   ts=str(entry.ts))
+                   ts=entry.ts)
 
     # ======================================================================
     # Host side (Fig. 8 lines 4-14)
@@ -153,17 +153,18 @@ class OffloadEngine(EngineBase):
             yield from self.handle_obsolete(meta)  # line 12
             self.metrics.counters.writes_obsolete += 1
             return WriteResult(key, ts, True, self.sim.now - started)
-        msg = Message(type=MsgType.INV, key=key, ts=ts, src=self.node_id,
-                      value=value, scope=scope, size=size)
+        msg = self.stamp(Message(type=MsgType.INV, key=key, ts=ts,
+                                 src=self.node_id, value=value, scope=scope,
+                                 size=size))
         txn = self.register_txn(key, ts, msg.write_id)
         txn.inv_deposited_at = self.sim.now
-        self.trace("write", "INV deposited to SNIC", key=key, ts=str(ts),
+        self.trace("write", "INV deposited to SNIC", key=key, ts=ts,
                    batched=self.config.batching)
         yield from self._host_deposit_invs(msg)  # line 10: send INV(s) to SNIC
         yield txn.host_complete  # line 14: spin for the batched ACK
         latency = self.record_write_metrics(txn, started)
-        self.trace("write", "complete", key=key, ts=str(ts),
-                   latency_us=round(latency * 1e6, 3))
+        self.trace("write", "complete", key=key, ts=ts,
+                   latency_s=latency)
         return WriteResult(key, ts, False, latency)
 
     def _host_deposit_invs(self, msg: Message):
@@ -211,8 +212,9 @@ class OffloadEngine(EngineBase):
         started = self.sim.now
         yield from self.host.compute(self.params.host.request_overhead)
         persist_id = next_persist_id()
-        msg = Message(type=MsgType.PERSIST, key=None, ts=NULL_TS,
-                      src=self.node_id, scope=scope, persist_id=persist_id)
+        msg = self.stamp(Message(type=MsgType.PERSIST, key=None, ts=NULL_TS,
+                                 src=self.node_id, scope=scope,
+                                 persist_id=persist_id))
         txn = self.register_txn(None, NULL_TS, msg.write_id)
         yield from self.host.compute(self.params.host.msg_send_cost)
         self.snic.host_deposit(Envelope(
@@ -266,8 +268,8 @@ class OffloadEngine(EngineBase):
         if meta.is_obsolete(ts):
             self.metrics.counters.writes_obsolete += 1
             return WriteResult(key, ts, True, self.sim.now - started)
-        msg = Message(type=MsgType.INV, key=key, ts=ts, src=self.node_id,
-                      value=value, size=size)
+        msg = self.stamp(Message(type=MsgType.INV, key=key, ts=ts,
+                                 src=self.node_id, value=value, size=size))
         txn = self.register_txn(key, ts, msg.write_id)
         yield from self._host_deposit_invs(msg)
         yield txn.host_complete
@@ -275,8 +277,8 @@ class OffloadEngine(EngineBase):
         self.retire_txn(txn.write_id)
         latency = self.sim.now - started
         self.metrics.record_write(latency)
-        self.trace("write", "complete (EC)", key=key, ts=str(ts),
-                   latency_us=round(latency * 1e6, 3))
+        self.trace("write", "complete (EC)", key=key, ts=ts,
+                   latency_s=latency)
         return WriteResult(key, ts, False, latency)
 
     def _snic_ec_coord_local(self, txn: WriteTxn, msg: Message):
@@ -358,6 +360,10 @@ class OffloadEngine(EngineBase):
         txn = self.txn(msg.write_id)
         if txn is None:
             raise ProtocolError(f"coordinator SNIC saw unregistered {msg}")
+        if not self.model.is_eventual_consistency:
+            # Retransmit timer runs SNIC-side: the SNIC owns the ACK
+            # bookkeeping, so it re-sends towards peers with missing ACKs.
+            self.watch_retransmits(txn, msg, self._snic_resend)
         if self.model.is_eventual_consistency:
             self.sim.spawn(self._snic_ec_coord_local(txn, msg),
                            name=f"n{self.node_id}.snic.eclocal")
@@ -374,7 +380,7 @@ class OffloadEngine(EngineBase):
                                      scope=msg.scope)
         meta.set_volatile(msg.ts)  # the enqueue is the serialization point
         yield from self.snic.vfifo_enqueue(entry)
-        self.trace("snic", "vFIFO enqueued", key=msg.key, ts=str(msg.ts))
+        self.trace("snic", "vFIFO enqueued", key=msg.key, ts=msg.ts)
         if not txn.local_enqueued.triggered:
             txn.local_enqueued.succeed()
         dentry = self.snic.make_entry(msg.key, msg.ts, msg.value, size,
@@ -472,13 +478,39 @@ class OffloadEngine(EngineBase):
         self._coord_seen.discard(txn.write_id)
         self.retire_txn(txn.write_id)
 
+    def _snic_resend(self, msg: Message, targets):
+        """Retransmit path: the SNIC re-sends *msg* (same seq) to exactly
+        the peers whose ACKs are missing."""
+        size = (self.record_size(msg) if msg.type is MsgType.INV
+                else self.params.control_size)
+        yield from self.snic.compute(self.params.snic.msg_handler_cost)
+        self.snic.send_multi(list(targets), msg, size)
+
     def _snic_send_vals(self, type: MsgType, key: Any, ts: Timestamp,
                         scope: Optional[int], write_id: int,
                         persist_id: Optional[int] = None) -> None:
-        msg = Message(type=type, key=key, ts=ts, src=self.node_id,
-                      scope=scope, persist_id=persist_id, write_id=write_id)
+        msg = self.stamp(Message(type=type, key=key, ts=ts, src=self.node_id,
+                                 scope=scope, persist_id=persist_id,
+                                 write_id=write_id))
         self.snic.send_multi(list(self.peers), msg, self.params.control_size)
         self.metrics.counters.vals_sent += len(self.peers)
+        if self.robustness is not None and self.robustness.val_resends > 0:
+            # VALs are unacknowledged: re-broadcast blindly, receivers are
+            # idempotent (monotonic TS updates, owner-checked unlock).
+            self.sim.spawn(self._snic_val_rebroadcast(msg),
+                           name=f"n{self.node_id}.snic.valrtx.w{write_id}")
+
+    def _snic_val_rebroadcast(self, msg: Message):
+        policy = self.robustness
+        delay = policy.base_timeout
+        for _ in range(policy.val_resends):
+            yield self.sim.timeout(delay)
+            self.metrics.counters.val_rebroadcasts += 1
+            self.trace("robust", "VAL rebroadcast", type=msg.type.name,
+                       write_id=msg.write_id)
+            self.snic.send_multi(list(self.peers), msg,
+                                 self.params.control_size)
+            delay = policy.next_timeout(delay)
 
     def _snic_coord_persist(self, envelope: Envelope, msg: Message):
         """[PERSIST]sc, coordinator SNIC half."""
@@ -488,6 +520,7 @@ class OffloadEngine(EngineBase):
             raise ProtocolError(f"PERSIST for unregistered txn: {msg}")
         self.snic.send_multi(list(self.peers), msg,
                              self.params.control_size)
+        self.watch_retransmits(txn, msg, self._snic_resend)
         # Local scope durability: every scoped write dFIFO-enqueued, plus
         # the [PERSIST]sc marker itself.
         yield from self.scope_tracker.wait_scope_durable(msg.scope)
@@ -526,17 +559,30 @@ class OffloadEngine(EngineBase):
         yield from self.snic.compute(self.params.snic.msg_handler_cost)
         if msg.type.is_ack:
             yield from self._snic_on_ack(msg)
-        elif msg.type is MsgType.INV:
-            if self.model.is_eventual_consistency:
+        elif msg.type in (MsgType.INV, MsgType.PERSIST):
+            replies = self.dedup_inv(msg)
+            if replies is not None:
+                self._snic_answer_duplicate(msg, replies)
+            elif msg.type is MsgType.PERSIST:
+                yield from self._snic_follower_persist(msg)
+            elif self.model.is_eventual_consistency:
                 yield from self._snic_ec_follower_inv(msg)
             else:
                 yield from self._snic_follower_inv(msg)
         elif msg.type.is_val:
             yield from self._snic_follower_val(msg)
-        elif msg.type is MsgType.PERSIST:
-            yield from self._snic_follower_persist(msg)
         else:
             raise ProtocolError(f"unhandled network message {msg}")
+
+    def _snic_answer_duplicate(self, msg: Message, replies) -> None:
+        """Duplicate INV/PERSIST delivery: re-send the recorded ACKs
+        verbatim (re-running the handler would deadlock on the obsolete
+        path's consistency spin, and would double-enqueue FIFO entries)."""
+        self.metrics.counters.dedup_inv_hits += 1
+        self.trace("robust", "duplicate suppressed", type=msg.type.name,
+                   write_id=msg.write_id, resent=len(replies))
+        for reply in list(replies):
+            self._snic_send_control(msg.src, reply)
 
     def _snic_on_ack(self, msg: Message):
         txn = self.txn(msg.write_id)
@@ -544,7 +590,9 @@ class OffloadEngine(EngineBase):
             if self.tolerate_stale_acks:
                 return
             raise ProtocolError(f"ACK for unknown write: {msg}")
-        txn.on_ack(msg)
+        if not txn.on_ack(msg, strict=self.robustness is None):
+            self.metrics.counters.dedup_ack_hits += 1
+            return
         if not self.config.batching:
             # Combined-without-batching: every ACK is passed to the host
             # (Fig. 6), costing a PCIe message and a host handler each.
@@ -556,29 +604,32 @@ class OffloadEngine(EngineBase):
         self.snic.send_message(dst, msg, self.params.control_size)
         self.metrics.counters.acks_sent += 1
 
+    def _snic_reply(self, msg: Message, ack_type: MsgType) -> None:
+        """Send an ACK-family reply to *msg*, recording it so a duplicate
+        delivery of *msg* can be answered verbatim (robustness mode)."""
+        reply = msg.reply(ack_type, self.node_id)
+        self.record_reply(msg, reply)
+        self._snic_send_control(msg.src, reply)
+
     def _snic_ack_obsolete(self, meta: RecordMeta, msg: Message):
         """Follower received an obsolete INV (Fig. 8 lines 29-32)."""
         p = self.model.persistency
         if p in (P.STRICT, P.READ_ENFORCED):
             yield from meta.consistency_spin()
-            self._snic_send_control(msg.src,
-                                    msg.reply(MsgType.ACK_C, self.node_id))
+            self._snic_reply(msg, MsgType.ACK_C)
             yield from meta.persistency_spin()
-            self._snic_send_control(msg.src,
-                                    msg.reply(MsgType.ACK_P, self.node_id))
+            self._snic_reply(msg, MsgType.ACK_P)
         elif p is P.SYNCHRONOUS:
             yield from self.handle_obsolete(meta)
-            self._snic_send_control(msg.src,
-                                    msg.reply(MsgType.ACK, self.node_id))
+            self._snic_reply(msg, MsgType.ACK)
         else:
             yield from meta.consistency_spin()
-            self._snic_send_control(msg.src,
-                                    msg.reply(MsgType.ACK_C, self.node_id))
+            self._snic_reply(msg, MsgType.ACK_C)
 
     def _snic_follower_inv(self, msg: Message):
         """Fig. 8 lines 28-38: the whole follower runs on the SNIC."""
         handling_started = self.sim.now
-        self.trace("follower", "INV received", key=msg.key, ts=str(msg.ts))
+        self.trace("follower", "INV received", key=msg.key, ts=msg.ts)
         meta = self.kv.meta(msg.key)
         if meta.is_obsolete(msg.ts):  # line 29
             yield from self._snic_ack_obsolete(meta, msg)
@@ -604,22 +655,17 @@ class OffloadEngine(EngineBase):
             yield from self._durable_enqueue(dentry)
             if scope_event is not None:
                 scope_event.succeed()
-            self._snic_send_control(msg.src,
-                                    msg.reply(MsgType.ACK, self.node_id))
+            self._snic_reply(msg, MsgType.ACK)
         elif p is P.STRICT:
-            self._snic_send_control(msg.src,
-                                    msg.reply(MsgType.ACK_C, self.node_id))
+            self._snic_reply(msg, MsgType.ACK_C)
             yield from self._durable_enqueue(dentry)
-            self._snic_send_control(msg.src,
-                                    msg.reply(MsgType.ACK_P, self.node_id))
+            self._snic_reply(msg, MsgType.ACK_P)
         elif p is P.READ_ENFORCED:
-            self._snic_send_control(msg.src,
-                                    msg.reply(MsgType.ACK_C, self.node_id))
+            self._snic_reply(msg, MsgType.ACK_C)
             self.sim.spawn(self._renf_follower_durable(msg, dentry),
                            name=f"n{self.node_id}.snic.fdq")
         else:  # EVENTUAL, SCOPE
-            self._snic_send_control(msg.src,
-                                    msg.reply(MsgType.ACK_C, self.node_id))
+            self._snic_reply(msg, MsgType.ACK_C)
             self.sim.spawn(
                 self._background_durable_follower(dentry, scope_event),
                 name=f"n{self.node_id}.snic.fdq")
@@ -628,8 +674,7 @@ class OffloadEngine(EngineBase):
 
     def _renf_follower_durable(self, msg: Message, dentry: FifoEntry):
         yield from self._durable_enqueue(dentry)
-        self._snic_send_control(msg.src,
-                                msg.reply(MsgType.ACK_P, self.node_id))
+        self._snic_reply(msg, MsgType.ACK_P)
 
     def _background_durable_follower(self, dentry: FifoEntry, scope_event):
         yield from self._durable_enqueue(dentry)
@@ -659,5 +704,4 @@ class OffloadEngine(EngineBase):
         yield from self.scope_tracker.wait_scope_durable(msg.scope)
         yield self.sim.timeout(
             self.params.dfifo_write_time(self.params.control_size))
-        self._snic_send_control(msg.src,
-                                msg.reply(MsgType.ACK_P, self.node_id))
+        self._snic_reply(msg, MsgType.ACK_P)

@@ -36,19 +36,33 @@ class Heartbeat:
 
 @dataclass
 class JoinRequest:
-    """A recovering node asks a designated node for catch-up data."""
+    """A recovering node asks a designated node for catch-up data.
+
+    ``versions`` is the joiner's per-key *durable* timestamp vector: log
+    serials are node-local (each node appends in its own persist order),
+    so a suffix-by-serial alone can miss a write that the designated node
+    logged early but the joiner never saw.  The designated node ships its
+    newest durable entry for every key where the joiner's vector lags."""
 
     node_id: int
     last_serial: int
+    versions: Dict[Any, Any] = field(default_factory=dict)
 
 
 @dataclass
 class JoinData:
-    """Catch-up payload: committed log entries the joiner missed."""
+    """Catch-up payload: committed log entries the joiner missed, plus
+    the designated node's per-key glb knowledge.
+
+    The glb snapshot (``key -> (glb_volatileTS, glb_durableTS)``) covers
+    the case where the joiner already holds a record version — it applied
+    and logged the INV before crashing — but died before the VAL arrived:
+    no log entry is missing, yet its glb timestamps are stale."""
 
     from_node: int
     to_node: int
     entries: List[LogEntry] = field(default_factory=list)
+    glb: Dict[Any, tuple] = field(default_factory=dict)
 
 
 @dataclass
@@ -86,6 +100,8 @@ class RecoveryManager:
         self.detections = 0
         self.rejoins = 0
         self._rejoin_gates: Dict[int, Any] = {}
+        #: node -> whether its latest catch-up round changed any state.
+        self._round_changed: Dict[int, bool] = {}
         for node in cluster.nodes:
             node.engine.control_handler = self._make_handler(node.node_id)
             self.sim.spawn(self._heartbeat_loop(node.node_id),
@@ -176,34 +192,88 @@ class RecoveryManager:
                 return node.node_id
         raise RecoveryError("no alive node to recover from")
 
+    #: Catch-up rounds per rejoin before declaring convergence anyway.
+    MAX_CATCHUP_ROUNDS = 8
+
     def _rejoin(self, node_id: int):
-        engine = self._engine(node_id)
-        engine.crashed = False
-        designated = self.designated_node(exclude=node_id)
-        request = JoinRequest(node_id=node_id,
-                              last_serial=engine.kv.log.last_serial)
-        self._send(node_id, designated, request)
-        # Wait until the JoinData round trip completed and was applied
-        # (the handler fires this gate).
-        gate = self.sim.event(label=f"rejoin:{node_id}")
-        self._rejoin_gates[node_id] = gate
-        yield gate
+        # Resume the whole node (engine + halted NIC/SNIC with cleared
+        # queues), not just the engine flag.
+        self.cluster.restore(node_id)
+        yield from self._catchup_round(node_id)
         # Announce recovery; peers re-include us on the next heartbeat
-        # anyway, but the explicit Rejoined makes it immediate.
+        # anyway, but the explicit Rejoined makes it immediate (and new
+        # writes start targeting us again).
         for peer in range(len(self.cluster.nodes)):
             if peer != node_id:
                 self._send(node_id, peer, Rejoined(node_id=node_id))
+        # Writes that were in flight while we were excluded can commit
+        # *after* the first catch-up snapshot was taken and never reach
+        # us (their INV/VAL fan-out skipped us).  Keep re-syncing until a
+        # round brings nothing new.
+        for _ in range(self.MAX_CATCHUP_ROUNDS):
+            yield self.sim.timeout(self.timeout)
+            yield from self._catchup_round(node_id)
+            if not self._round_changed.get(node_id, False):
+                break
         self.rejoins += 1
         return node_id
+
+    def _catchup_round(self, node_id: int):
+        """One JoinRequest/JoinData exchange, retried under faults until
+        the payload lands and is applied."""
+        engine = self._engine(node_id)
+
+        def request() -> JoinRequest:
+            kv = engine.kv
+            versions = {}
+            for key in kv.metadata.keys():
+                ts = kv.log.durable_ts(key)
+                if ts is not None:
+                    versions[key] = ts
+            return JoinRequest(node_id=node_id,
+                               last_serial=kv.log.last_serial,
+                               versions=versions)
+
+        gate = self.sim.event(label=f"rejoin:{node_id}")
+        self._rejoin_gates[node_id] = gate
+        designated = self.designated_node(exclude=node_id)
+        self._send(node_id, designated, request())
+        if getattr(self.cluster, "fault_injector", None) is not None:
+            # The JoinRequest or JoinData may be lost to injected faults:
+            # re-issue the request until the catch-up payload lands.
+            while not gate.triggered:
+                yield self.sim.any_of([gate, self.sim.timeout(self.timeout)])
+                if gate.triggered:
+                    break
+                designated = self.designated_node(exclude=node_id)
+                self._send(node_id, designated, request())
+        else:
+            yield gate
 
     # -- catch-up exchange ---------------------------------------------------------
 
     def _on_join_request(self, node_id: int, request: JoinRequest) -> None:
-        entries = self._engine(node_id).kv.log.entries_since(
-            request.last_serial)
+        kv = self._engine(node_id).kv
+        entries = kv.log.entries_since(request.last_serial)
+        # Fill per-key holes the serial suffix cannot see (serials are
+        # node-local append orders): ship the newest durable version of
+        # every key where the joiner's version vector lags ours.
+        shipped = {(entry.key, entry.ts) for entry in entries}
+        for key in kv.metadata.keys():
+            ts = kv.log.durable_ts(key)
+            if ts is None or (key, ts) in shipped:
+                continue
+            known = request.versions.get(key)
+            if known is None or known < ts:
+                entries.append(LogEntry(key=key, ts=ts,
+                                        value=kv.log.durable_value(key)))
+        glb = {key: (kv.meta(key).glb_volatile_ts,
+                     kv.meta(key).glb_durable_ts)
+               for key in kv.metadata.keys()}
         payload = JoinData(from_node=node_id, to_node=request.node_id,
-                           entries=entries)
-        size = max(64, len(entries) * self.cluster.params.record_size)
+                           entries=entries, glb=glb)
+        size = max(64, len(entries) * self.cluster.params.record_size +
+                   len(glb) * 16)
         self._send(node_id, request.node_id, payload, size_bytes=size)
 
     def _on_join_data(self, node_id: int, data: JoinData) -> None:
@@ -224,12 +294,37 @@ class RecoveryManager:
             yield engine.host.nvm.persist(total)
             yield engine.host.llc.access(
                 len(newest) * self.cluster.params.record_size)
+        changed = bool(data.entries)
         kv.log.ingest(iter(data.entries))
         for entry in newest.values():
             kv.volatile_write(entry.key, entry.value, entry.ts)
             meta = kv.meta(entry.key)
             meta.set_glb_volatile(entry.ts)
             meta.set_glb_durable(entry.ts)
+        # Adopt the designated node's glb knowledge, clamped so a glb
+        # timestamp never runs ahead of what this node itself holds —
+        # covers versions we applied+logged before crashing but whose
+        # VAL we never saw (the setters are monotonic, so this only
+        # ever advances).
+        for key, (glb_v, glb_d) in data.glb.items():
+            meta = kv.meta(key)
+            vts = meta.volatile_ts
+            before = (meta.glb_volatile_ts, meta.glb_durable_ts)
+            meta.set_glb_volatile(glb_v if glb_v < vts else vts)
+            cap = meta.glb_volatile_ts
+            meta.set_glb_durable(glb_d if glb_d < cap else cap)
+            if (meta.glb_volatile_ts, meta.glb_durable_ts) != before:
+                changed = True
+        # Release RDLocks orphaned by the crash: if the owning write is
+        # now known to be consistency-complete everywhere, its VAL (which
+        # would have unlocked the record) happened while we were down.
+        for key in kv.metadata.keys():
+            meta = kv.meta(key)
+            if (not meta.rdlock_free and
+                    meta.rdlock_owner <= meta.glb_volatile_ts):
+                meta.release_rdlock(meta.rdlock_owner)
+                changed = True
+        self._round_changed[node_id] = changed
         gate = self._rejoin_gates.pop(node_id, None)
         if gate is not None and not gate.triggered:
             gate.succeed()

@@ -1,0 +1,37 @@
+"""Fault injection and chaos scheduling (ROADMAP: "handles as many
+scenarios as you can imagine").
+
+The subsystem splits into a declarative layer and an active layer:
+
+* :class:`FaultPlan` / :class:`LinkFaults` / :class:`Partition` /
+  :class:`CrashWindow` — a seeded, deterministic description of the
+  faults a run will experience;
+* :class:`RetransmitPolicy` — the protocol-robustness knobs the engines
+  use to survive those faults (timeouts, capped exponential backoff,
+  VAL re-broadcasts);
+* :class:`FaultInjector` — hooks into the network fabric and applies a
+  plan to packets in flight, plus drives the plan's crash schedule.
+
+Install through :meth:`repro.cluster.MinosCluster.enable_faults`, which
+wires the injector into the fabric and switches every engine into
+robustness mode.  With no plan installed none of this code runs: the
+fault-free event calendar is bit-identical to a build without faults.
+"""
+
+from repro.faults.chaos import ChaosResult, run_chaos
+from repro.faults.injector import FaultCounters, FaultInjector
+from repro.faults.plan import (CrashWindow, FaultPlan, LinkFaults,
+                               Partition, RetransmitPolicy, crash_schedule)
+
+__all__ = [
+    "ChaosResult",
+    "CrashWindow",
+    "FaultCounters",
+    "FaultInjector",
+    "FaultPlan",
+    "LinkFaults",
+    "Partition",
+    "RetransmitPolicy",
+    "crash_schedule",
+    "run_chaos",
+]

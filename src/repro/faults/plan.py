@@ -1,0 +1,202 @@
+"""Deterministic fault plans.
+
+A :class:`FaultPlan` is a *description* of everything that will go wrong
+during a run: per-link message loss, duplication, extra delay and
+reordering, link partitions, and scheduled node crash/restart windows.
+Plans are seeded and purely declarative — the same seed and plan always
+produce the same faults, because the :class:`~repro.faults.injector.
+FaultInjector` derives one private RNG per directed link from
+``(seed, src, dst)`` and draws from it in (deterministic) delivery order.
+
+The related knobs for *tolerating* those faults live in
+:class:`RetransmitPolicy`: protocol-level timeouts, capped exponential
+backoff, and bounded blind VAL re-broadcasts (see
+``docs/fault_injection.md`` for the full state machine).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.hw.params import us
+
+
+def _check_probability(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ConfigError(f"{name} must be a probability in [0, 1]: {value}")
+
+
+@dataclass(frozen=True)
+class LinkFaults:
+    """Fault rates of one directed link (or the plan-wide default).
+
+    ``reorder`` is modelled as an extra delay large enough to push the
+    packet behind later traffic — on a deterministic calendar that is
+    exactly what message reordering is.
+    """
+
+    #: Probability a packet is silently dropped.
+    drop: float = 0.0
+    #: Probability a packet is delivered twice.
+    duplicate: float = 0.0
+    #: Probability a packet is delivered late by ``delay_s``.
+    delay: float = 0.0
+    #: Extra latency added to a delayed packet.
+    delay_s: float = us(5)
+    #: Probability a packet is reordered (delayed by ``reorder_s``).
+    reorder: float = 0.0
+    #: Extra latency for a reordered packet (should exceed the typical
+    #: inter-packet spacing so it really lands behind its successors).
+    reorder_s: float = us(20)
+
+    def __post_init__(self) -> None:
+        for name in ("drop", "duplicate", "delay", "reorder"):
+            _check_probability(name, getattr(self, name))
+        if self.delay_s < 0 or self.reorder_s < 0:
+            raise ConfigError("fault delays must be non-negative")
+
+    @property
+    def active(self) -> bool:
+        return (self.drop > 0 or self.duplicate > 0 or self.delay > 0 or
+                self.reorder > 0)
+
+
+@dataclass(frozen=True)
+class Partition:
+    """The fabric is cut between ``group_a`` and ``group_b`` during
+    ``[start, end)``: packets crossing the cut (either direction) drop."""
+
+    start: float
+    end: float
+    group_a: FrozenSet[int] = frozenset()
+    group_b: FrozenSet[int] = frozenset()
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ConfigError(
+                f"partition window is empty: [{self.start}, {self.end})")
+        object.__setattr__(self, "group_a", frozenset(self.group_a))
+        object.__setattr__(self, "group_b", frozenset(self.group_b))
+        if self.group_a & self.group_b:
+            raise ConfigError("partition groups must be disjoint")
+
+    def severs(self, src_node: int, dst_node: int, when: float) -> bool:
+        if not self.start <= when < self.end:
+            return False
+        return ((src_node in self.group_a and dst_node in self.group_b) or
+                (src_node in self.group_b and dst_node in self.group_a))
+
+
+@dataclass(frozen=True)
+class CrashWindow:
+    """Node ``node`` crashes at ``at`` and restarts at ``restore_at``
+    (``None``: it stays down for the rest of the run)."""
+
+    node: int
+    at: float
+    restore_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ConfigError("crash time must be non-negative")
+        if self.restore_at is not None and self.restore_at <= self.at:
+            raise ConfigError("restore_at must come after the crash")
+
+
+@dataclass(frozen=True)
+class RetransmitPolicy:
+    """Protocol-level robustness knobs (coordinator side).
+
+    The coordinator arms one retransmit timer per in-flight write: when
+    the model's ACK condition has not been met after ``base_timeout`` it
+    re-sends the INV to exactly the peers whose ACKs are missing, doubles
+    the timeout (capped at ``max_timeout``) and repeats, at most
+    ``max_retries`` times.  VAL-family messages carry no acknowledgement,
+    so they are re-broadcast blindly ``val_resends`` extra times with the
+    same backoff; receivers treat them idempotently.
+    """
+
+    #: First retransmit fires this long after the INVs were deposited.
+    base_timeout: float = us(30)
+    #: Exponential backoff cap.
+    max_timeout: float = us(240)
+    #: Backoff multiplier per retry.
+    backoff: float = 2.0
+    #: INV retransmissions per write before giving up (failure detection
+    #: then takes over and excludes the unresponsive peer).
+    max_retries: int = 8
+    #: Blind VAL re-broadcasts per VAL-family send.
+    val_resends: int = 2
+
+    def __post_init__(self) -> None:
+        if self.base_timeout <= 0 or self.max_timeout < self.base_timeout:
+            raise ConfigError("need 0 < base_timeout <= max_timeout")
+        if self.backoff < 1.0:
+            raise ConfigError("backoff must be >= 1")
+        if self.max_retries < 0 or self.val_resends < 0:
+            raise ConfigError("retry counts must be non-negative")
+
+    def next_timeout(self, current: float) -> float:
+        return min(current * self.backoff, self.max_timeout)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A complete, seeded schedule of injected faults.
+
+    Parameters
+    ----------
+    seed:
+        Root seed; every directed link derives its own RNG from it.
+    default:
+        Fault rates applied to every link without an override.
+    links:
+        Per-directed-link overrides: ``{(src_node, dst_node): LinkFaults}``.
+    partitions / crashes:
+        Scheduled link cuts and node crash/restart windows.
+    retransmit:
+        The robustness policy engines run with while this plan is
+        installed.
+    """
+
+    seed: int = 0
+    default: LinkFaults = field(default_factory=LinkFaults)
+    links: Dict[Tuple[int, int], LinkFaults] = field(default_factory=dict)
+    partitions: Tuple[Partition, ...] = ()
+    crashes: Tuple[CrashWindow, ...] = ()
+    retransmit: RetransmitPolicy = field(default_factory=RetransmitPolicy)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "partitions", tuple(self.partitions))
+        object.__setattr__(self, "crashes", tuple(self.crashes))
+
+    def link(self, src_node: int, dst_node: int) -> LinkFaults:
+        return self.links.get((src_node, dst_node), self.default)
+
+    def partitioned(self, src_node: int, dst_node: int, when: float) -> bool:
+        for partition in self.partitions:
+            if partition.severs(src_node, dst_node, when):
+                return True
+        return False
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        return replace(self, seed=seed)
+
+    @classmethod
+    def lossy(cls, seed: int = 0, drop: float = 0.01,
+              duplicate: float = 0.0, delay: float = 0.0,
+              crashes: Tuple[CrashWindow, ...] = (),
+              retransmit: Optional[RetransmitPolicy] = None) -> "FaultPlan":
+        """Convenience constructor for the common uniform-loss plan."""
+        return cls(seed=seed,
+                   default=LinkFaults(drop=drop, duplicate=duplicate,
+                                      delay=delay),
+                   crashes=tuple(crashes),
+                   retransmit=retransmit or RetransmitPolicy())
+
+
+def crash_schedule(plan: FaultPlan) -> List[CrashWindow]:
+    """The plan's crash windows sorted by crash time."""
+    return sorted(plan.crashes, key=lambda w: (w.at, w.node))

@@ -93,6 +93,9 @@ class BaselineNic:
         self._host_inbox = host_inbox
         self.messages_sent = 0
         self.messages_received = 0
+        #: Crash flag: while halted the NIC consumes and drops traffic
+        #: instead of forwarding it (see :meth:`halt`).
+        self.halted = False
         sim.spawn(self._tx_loop(), name=f"{self.endpoint}.tx")
         sim.spawn(self._rx_loop(), name=f"{self.endpoint}.rx")
 
@@ -111,6 +114,24 @@ class BaselineNic:
                         kind="pcie")
         self._pcie_up.send(packet, self.from_host)
 
+    # -- crash semantics --------------------------------------------------------
+
+    def halt(self) -> int:
+        """Crash the NIC: drop everything queued and stop forwarding.
+
+        A crashed node must not keep transmitting envelopes its host
+        deposited before dying, nor deliver received packets on restart
+        as if nothing happened.  Returns how many queued packets were
+        dropped; packets arriving while halted are consumed and dropped
+        by the tx/rx loops.
+        """
+        self.halted = True
+        return self.from_host.clear() + self.net_inbox.clear()
+
+    def resume(self) -> None:
+        """Restart the NIC after a crash (queues start empty)."""
+        self.halted = False
+
     # -- internals --------------------------------------------------------------
 
     def _send_cost(self, size_bytes: int) -> float:
@@ -123,6 +144,8 @@ class BaselineNic:
         """Move envelopes from the PCIe queue onto the network."""
         while True:
             packet = yield self.from_host.get()
+            if self.halted:
+                continue  # crashed: consume and drop
             envelope: Envelope = packet.payload
             if envelope.is_batched:
                 yield from self._tx_batched(envelope)
@@ -163,6 +186,8 @@ class BaselineNic:
         """Move received packets across PCIe into the host inbox."""
         while True:
             packet = yield self.net_inbox.get()
+            if self.halted:
+                continue  # crashed: consume and drop
             self.messages_received += 1
             yield self.sim.timeout(self.params.nic.recv_cost)
             down = Packet(payload=packet.payload,

@@ -99,6 +99,9 @@ class SmartNic:
         self.messages_received = 0
         self.vfifo_skipped = 0
         self._drains_started = False
+        #: Crash flag: while halted the SNIC consumes and drops traffic
+        #: instead of transmitting it (see :meth:`halt`).
+        self.halted = False
         sim.spawn(self._tx_loop(), name=f"{self.endpoint}.tx")
 
     # -- compute & coherence ---------------------------------------------------
@@ -161,9 +164,28 @@ class SmartNic:
             return self.params.nic.send_inv_cost
         return self.params.nic.send_ack_cost
 
+    def halt(self) -> int:
+        """Crash the SNIC: drop queued traffic and stop transmitting.
+
+        Clears the PCIe receive queue, the network receive queue, and the
+        transmit queue so a restarted node comes back with empty queues
+        (volatile SNIC state is lost in a crash).  Returns how many queued
+        items were dropped; items arriving while halted are consumed and
+        dropped by the tx loop / the engine's handler loops.
+        """
+        self.halted = True
+        return (self.from_host.clear() + self.net_inbox.clear() +
+                self._tx_queue.clear())
+
+    def resume(self) -> None:
+        """Restart the SNIC after a crash (queues start empty)."""
+        self.halted = False
+
     def _tx_loop(self):
         while True:
             mode, dst, payload, size = yield self._tx_queue.get()
+            if self.halted:
+                continue  # crashed: consume and drop
             if mode == "one":
                 yield self.sim.timeout(self._send_cost(size))
                 self.messages_sent += 1

@@ -102,6 +102,11 @@ class Counters:
     rdlock_snatches: int = 0
     vfifo_skips: int = 0
     scope_persist_txns: int = 0
+    # Robustness-layer counters (stay zero on the fault-free path).
+    inv_retransmits: int = 0
+    val_rebroadcasts: int = 0
+    dedup_inv_hits: int = 0
+    dedup_ack_hits: int = 0
 
 
 class Metrics:

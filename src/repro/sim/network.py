@@ -42,6 +42,13 @@ class Packet:
     sent_at: float = -1.0
     delivered_at: float = -1.0
 
+    def clone(self) -> "Packet":
+        """A fresh-identity copy (used by fault injection to duplicate a
+        message in flight: delivery mutates per-packet timing fields)."""
+        return Packet(payload=self.payload, size_bytes=self.size_bytes,
+                      src=self.src, dst=self.dst, kind=self.kind,
+                      sent_at=self.sent_at)
+
 
 class Mailbox(Store):
     """A named receive queue for packets."""
@@ -78,6 +85,9 @@ class Port:
         self._busy_until = 0.0
         self.packets_sent = 0
         self.bytes_sent = 0
+        #: Optional :class:`repro.faults.FaultInjector`.  ``None`` (the
+        #: default) keeps delivery on the exact fault-free fast path.
+        self.fault_injector = None
 
     # -- internals ----------------------------------------------------------
 
@@ -91,6 +101,18 @@ class Port:
         return done, done - now
 
     def _deliver(self, packet: Packet, mailbox: Mailbox, when: float) -> None:
+        injector = self.fault_injector
+        if injector is not None:
+            # Fault-injection path: the injector decides which copies of
+            # the packet arrive and when.  The fault-free path below is
+            # untouched (identical calendar) when no injector is set.
+            for copy, arrival in injector.deliveries(packet, when):
+                self._schedule_delivery(copy, mailbox, arrival)
+            return
+        self._schedule_delivery(packet, mailbox, when)
+
+    def _schedule_delivery(self, packet: Packet, mailbox: Mailbox,
+                           when: float) -> None:
         packet.delivered_at = when
         event = self.sim.event(label=f"deliver:{packet.packet_id}")
         event._value = packet
@@ -152,6 +174,7 @@ class Network:
         self.sim = sim
         self._mailboxes: Dict[str, Mailbox] = {}
         self._ports: Dict[str, Port] = {}
+        self._fault_injector = None
 
     def add_endpoint(self, name: str, latency_s: float, bandwidth_bps: float,
                      gap_s: float = 0.0) -> Mailbox:
@@ -160,9 +183,17 @@ class Network:
             raise SimulationError(f"duplicate endpoint {name!r}")
         mailbox = Mailbox(self.sim, name)
         self._mailboxes[name] = mailbox
-        self._ports[name] = Port(self.sim, latency_s, bandwidth_bps,
-                                 gap_s, name=name)
+        port = Port(self.sim, latency_s, bandwidth_bps, gap_s, name=name)
+        port.fault_injector = self._fault_injector
+        self._ports[name] = port
         return mailbox
+
+    def install_fault_injector(self, injector) -> None:
+        """Attach *injector* to every fabric port (present and future).
+        Pass ``None`` to uninstall and return to the fault-free path."""
+        self._fault_injector = injector
+        for port in self._ports.values():
+            port.fault_injector = injector
 
     def mailbox(self, name: str) -> Mailbox:
         return self._mailboxes[name]

@@ -96,6 +96,15 @@ class Store:
             self._getters.append(event)
         return event
 
+    def clear(self) -> int:
+        """Drop every queued item (crash semantics: a halted node loses
+        its undelivered traffic).  Returns how many items were dropped.
+        Items already handed to a waiting getter are not retracted; the
+        consumer is expected to discard them while halted."""
+        dropped = len(self._items)
+        self._items.clear()
+        return dropped
+
     def __len__(self) -> int:
         return len(self._items)
 

@@ -6,6 +6,21 @@ cluster.  It is off by default — engines call :meth:`Tracer.emit` through
 a no-op shim unless a tracer is attached — and is used by the
 ``trace_transaction`` example, the CLI's ``trace`` command, and tests
 that assert protocol step ordering.
+
+Established categories:
+
+* ``write`` / ``follower`` / ``persist`` / ``snic`` — the protocol
+  lifecycle events of the two engines;
+* ``fault`` — what the :class:`repro.faults.FaultInjector` did to
+  traffic (drop, duplicate, delay, reorder, partition drop, crash,
+  restart);
+* ``robust`` — the engines' robustness layer (INV retransmits, blind
+  VAL re-broadcasts, duplicate suppression).
+
+Zero-overhead contract: call sites must pass detail values *raw* (no
+``str()``/``round()`` pre-formatting) so that when no tracer is attached
+the only cost is building the kwargs dict.  Rendering happens lazily in
+:meth:`TraceEvent.__str__`.
 """
 
 from __future__ import annotations
@@ -35,6 +50,9 @@ class TraceEvent:
         return default
 
     def __str__(self) -> str:
+        # Details are stored raw and rendered only here (lazily); floats
+        # that represent seconds are still printed as stored — emitters
+        # should name keys with their unit (`latency_s`, `extra_s`).
         extra = " ".join(f"{k}={v}" for k, v in self.details)
         return (f"[{self.time_us:10.3f}us] n{self.node} "
                 f"{self.category:<9s} {self.label}" +

@@ -1,0 +1,122 @@
+"""FaultPlan / LinkFaults / Partition / CrashWindow / RetransmitPolicy
+validation and query semantics."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults import (CrashWindow, FaultPlan, LinkFaults, Partition,
+                          RetransmitPolicy, crash_schedule)
+from repro.hw.params import us
+
+
+class TestLinkFaults:
+    def test_defaults_are_inactive(self):
+        assert not LinkFaults().active
+
+    @pytest.mark.parametrize("name", ["drop", "duplicate", "delay",
+                                      "reorder"])
+    def test_any_rate_activates(self, name):
+        assert LinkFaults(**{name: 0.5}).active
+
+    @pytest.mark.parametrize("name", ["drop", "duplicate", "delay",
+                                      "reorder"])
+    @pytest.mark.parametrize("bad", [-0.1, 1.5])
+    def test_rates_must_be_probabilities(self, name, bad):
+        with pytest.raises(ConfigError):
+            LinkFaults(**{name: bad})
+
+    def test_negative_delays_rejected(self):
+        with pytest.raises(ConfigError):
+            LinkFaults(delay_s=-1.0)
+        with pytest.raises(ConfigError):
+            LinkFaults(reorder_s=-1.0)
+
+
+class TestPartition:
+    def test_empty_window_rejected(self):
+        with pytest.raises(ConfigError):
+            Partition(start=us(10), end=us(10))
+
+    def test_overlapping_groups_rejected(self):
+        with pytest.raises(ConfigError):
+            Partition(start=0, end=us(10), group_a={0, 1}, group_b={1, 2})
+
+    def test_severs_only_across_the_cut_during_the_window(self):
+        cut = Partition(start=us(10), end=us(20),
+                        group_a={0, 1}, group_b={2})
+        assert cut.severs(0, 2, us(15))
+        assert cut.severs(2, 1, us(15))       # both directions
+        assert not cut.severs(0, 1, us(15))   # same side
+        assert not cut.severs(0, 2, us(5))    # before the window
+        assert not cut.severs(0, 2, us(20))   # end is exclusive
+
+
+class TestCrashWindow:
+    def test_restore_must_follow_crash(self):
+        with pytest.raises(ConfigError):
+            CrashWindow(node=0, at=us(10), restore_at=us(10))
+
+    def test_negative_crash_time_rejected(self):
+        with pytest.raises(ConfigError):
+            CrashWindow(node=0, at=-1.0)
+
+    def test_stay_down_is_allowed(self):
+        assert CrashWindow(node=0, at=us(5)).restore_at is None
+
+    def test_schedule_sorted_by_time(self):
+        plan = FaultPlan(crashes=(CrashWindow(node=1, at=us(20)),
+                                  CrashWindow(node=0, at=us(5))))
+        assert [w.node for w in crash_schedule(plan)] == [0, 1]
+
+
+class TestRetransmitPolicy:
+    def test_backoff_caps_at_max_timeout(self):
+        policy = RetransmitPolicy(base_timeout=us(30), max_timeout=us(100),
+                                  backoff=2.0)
+        assert policy.next_timeout(us(30)) == pytest.approx(us(60))
+        assert policy.next_timeout(us(60)) == pytest.approx(us(100))
+        assert policy.next_timeout(us(100)) == pytest.approx(us(100))
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            RetransmitPolicy(base_timeout=0)
+        with pytest.raises(ConfigError):
+            RetransmitPolicy(base_timeout=us(50), max_timeout=us(20))
+        with pytest.raises(ConfigError):
+            RetransmitPolicy(backoff=0.5)
+        with pytest.raises(ConfigError):
+            RetransmitPolicy(max_retries=-1)
+        with pytest.raises(ConfigError):
+            RetransmitPolicy(val_resends=-1)
+
+
+class TestFaultPlan:
+    def test_link_override_falls_back_to_default(self):
+        lossy = LinkFaults(drop=0.5)
+        plan = FaultPlan(default=LinkFaults(drop=0.01),
+                         links={(0, 1): lossy})
+        assert plan.link(0, 1) is lossy
+        assert plan.link(1, 0).drop == 0.01
+
+    def test_partitioned_queries_all_partitions(self):
+        plan = FaultPlan(partitions=(
+            Partition(start=0, end=us(10), group_a={0}, group_b={1}),
+            Partition(start=us(20), end=us(30), group_a={0}, group_b={2}),
+        ))
+        assert plan.partitioned(0, 1, us(5))
+        assert plan.partitioned(2, 0, us(25))
+        assert not plan.partitioned(0, 1, us(25))
+
+    def test_with_seed_keeps_everything_else(self):
+        plan = FaultPlan.lossy(seed=1, drop=0.1)
+        reseeded = plan.with_seed(9)
+        assert reseeded.seed == 9
+        assert reseeded.default == plan.default
+
+    def test_lossy_convenience(self):
+        plan = FaultPlan.lossy(seed=3, drop=0.02, duplicate=0.05,
+                               crashes=(CrashWindow(node=1, at=us(5)),))
+        assert plan.default.drop == 0.02
+        assert plan.default.duplicate == 0.05
+        assert plan.crashes[0].node == 1
+        assert plan.retransmit.max_retries > 0
