@@ -10,8 +10,8 @@ magnitude lower write latency, as this example shows.
 Run:  python examples/eventual_consistency.py
 """
 
-from repro import (EC_EVENT, EC_SYNCH, LIN_SYNCH, MINOS_B, MINOS_O,
-                   MinosCluster, YcsbWorkload)
+from repro.api import (EC_EVENT, EC_SYNCH, LIN_SYNCH, MINOS_B, MINOS_O,
+                       MinosCluster, YcsbWorkload)
 
 
 def main() -> None:

@@ -9,7 +9,7 @@ state before rejoining.
 Run:  python examples/failure_recovery.py
 """
 
-from repro import LIN_SYNCH, MINOS_O, MinosCluster
+from repro.api import LIN_SYNCH, MINOS_O, MinosCluster
 from repro.core.recovery import RecoveryManager
 from repro.hw.params import MachineParams, us
 

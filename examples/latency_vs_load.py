@@ -10,7 +10,8 @@ Figure 9 throughput claim.
 Run:  python examples/latency_vs_load.py
 """
 
-from repro import LIN_SYNCH, MINOS_B, MINOS_O, MinosCluster, YcsbWorkload
+from repro.api import (LIN_SYNCH, MINOS_B, MINOS_O, MinosCluster,
+                       YcsbWorkload)
 
 RATES = (50_000, 150_000, 300_000, 450_000)
 

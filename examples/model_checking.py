@@ -8,7 +8,7 @@ invariant and printing the counterexample trace.
 Run:  python examples/model_checking.py
 """
 
-from repro import ALL_MODELS, LIN_SYNCH
+from repro.api import ALL_MODELS, LIN_SYNCH
 from repro.verify import ModelChecker, ProtocolSpec, WriteDef
 
 

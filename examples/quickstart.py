@@ -7,7 +7,7 @@ node, reads it back from another, and prints latencies.
 Run:  python examples/quickstart.py
 """
 
-from repro import LIN_SYNCH, MINOS_B, MINOS_O, MinosCluster
+from repro.api import LIN_SYNCH, MINOS_B, MINOS_O, MinosCluster
 
 
 def main() -> None:

@@ -9,7 +9,7 @@ one persist point that pays for durability.
 Run:  python examples/scope_persistency.py
 """
 
-from repro import LIN_SCOPE, MINOS_B, MINOS_O, MinosCluster
+from repro.api import LIN_SCOPE, MINOS_B, MINOS_O, MinosCluster
 
 
 def main() -> None:
@@ -23,8 +23,8 @@ def main() -> None:
         for i, key in enumerate(keys):
             result = cluster.write(0, key, f"item-{i}", scope=scope)
             print(f"  write {key}: {result.latency * 1e6:6.2f} us")
-        persist_latency = cluster.persist_scope(0, scope)
-        print(f"  [PERSIST]sc: {persist_latency * 1e6:6.2f} us")
+        persist = cluster.persist_scope(0, scope)
+        print(f"  [PERSIST]sc: {persist.latency * 1e6:6.2f} us")
 
         durable = all(cluster.nodes[n].kv.durable_value(k) == f"item-{i}"
                       for n in range(len(cluster.nodes))

@@ -7,7 +7,7 @@ the executable version of the paper's Figure 7(a) timeline.
 Run:  python examples/trace_transaction.py
 """
 
-from repro import LIN_SYNCH, MINOS_B, MINOS_O, MinosCluster
+from repro.api import LIN_SYNCH, MINOS_B, MINOS_O, MinosCluster
 from repro.hw.params import MachineParams
 
 

@@ -9,7 +9,8 @@ Run:  python examples/ycsb_comparison.py [--requests N]
 
 import argparse
 
-from repro import ALL_MODELS, MINOS_B, MINOS_O, MinosCluster, YcsbWorkload
+from repro.api import (ALL_MODELS, MINOS_B, MINOS_O, MinosCluster,
+                       YcsbWorkload)
 
 
 def main() -> None:

@@ -13,8 +13,14 @@ Quick start::
     metrics = cluster.run_workload(
         YcsbWorkload(records=500, requests_per_client=100))
     print(metrics.write_latency.summary())
+
+The names in :mod:`repro.api` form the stable public surface (see
+docs/api.md); they are all re-exported here.
 """
 
+from repro import api
+from repro.api import (CrashWindow, ExperimentConfig, ExperimentResult,
+                       FaultPlan, OpResult, run_chaos, run_experiment)
 from repro.cluster import ClosedLoopClient, MinosCluster, Node
 from repro.core import (ABLATION_CONFIGS, ALL_MODELS, B_BATCHING,
                         B_BROADCAST, COMBINED, COMBINED_BATCHING,
@@ -43,8 +49,12 @@ __all__ = [
     "COMBINED_BROADCAST",
     "ClosedLoopClient",
     "Consistency",
+    "CrashWindow",
     "DDPModel",
     "DEFAULT_MACHINE",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "FaultPlan",
     "EC_EVENT",
     "EC_SYNCH",
     "EXTENSION_MODELS",
@@ -62,6 +72,7 @@ __all__ = [
     "Node",
     "Op",
     "OpKind",
+    "OpResult",
     "Persistency",
     "ProtocolConfig",
     "SOCIAL_LOGIN",
@@ -70,9 +81,12 @@ __all__ = [
     "TraceWorkload",
     "Tracer",
     "YcsbWorkload",
+    "api",
     "parse_trace",
     "config_by_name",
     "model_by_name",
+    "run_chaos",
+    "run_experiment",
     "write_breakdown",
     "__version__",
 ]

@@ -1,0 +1,78 @@
+"""The stable public API of the MINOS reproduction.
+
+Import from here (or from :mod:`repro`, which re-exports everything in
+``__all__``) rather than from the internal submodules — the facade's
+surface is covered by the API-contract tests and is kept
+backwards-compatible across releases, while submodule layout is not.
+
+The surface, by theme:
+
+* **Building a cluster** — :class:`MinosCluster`, :class:`ProtocolConfig`
+  with the :data:`MINOS_B` / :data:`MINOS_O` architecture presets, the
+  :class:`DDPModel` presets (:data:`LIN_SYNCH`, :data:`LIN_STRICT`,
+  :data:`LIN_RENF`, :data:`LIN_EVENT`, :data:`LIN_SCOPE`,
+  :data:`EC_SYNCH`, :data:`EC_EVENT`), and :class:`MachineParams` /
+  :data:`DEFAULT_MACHINE` for the hardware point.
+* **Running work** — :class:`YcsbWorkload`, :class:`ExperimentConfig` +
+  :func:`run_experiment` for one experiment point, direct
+  :meth:`MinosCluster.write` / ``read`` / ``persist_scope`` calls
+  returning :class:`OpResult`.
+* **Faults** — :class:`FaultPlan`, :class:`CrashWindow` and
+  :func:`run_chaos` for seeded loss/duplication/delay plus
+  crash/restart runs with invariant checking.
+* **Results** — :class:`OpResult`, :class:`ExperimentResult`,
+  :class:`Metrics`, :class:`Timestamp`.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import (ExperimentConfig, ExperimentResult,
+                                 run_experiment)
+from repro.cluster.cluster import MinosCluster
+from repro.cluster.results import OpResult
+from repro.core.config import (MINOS_B, MINOS_O, ProtocolConfig,
+                               config_by_name)
+from repro.core.model import (ALL_MODELS, EC_EVENT, EC_SYNCH, LIN_EVENT,
+                              LIN_RENF, LIN_SCOPE, LIN_STRICT, LIN_SYNCH,
+                              DDPModel, model_by_name)
+from repro.core.timestamp import Timestamp
+from repro.faults import CrashWindow, FaultPlan, run_chaos
+from repro.hw.params import DEFAULT_MACHINE, MachineParams
+from repro.metrics.stats import Metrics
+from repro.workloads.ycsb import YcsbWorkload
+
+__all__ = [
+    # cluster + architecture
+    "MinosCluster",
+    "ProtocolConfig",
+    "MINOS_B",
+    "MINOS_O",
+    "config_by_name",
+    # DDP models
+    "DDPModel",
+    "ALL_MODELS",
+    "LIN_SYNCH",
+    "LIN_STRICT",
+    "LIN_RENF",
+    "LIN_EVENT",
+    "LIN_SCOPE",
+    "EC_SYNCH",
+    "EC_EVENT",
+    "model_by_name",
+    # hardware point
+    "MachineParams",
+    "DEFAULT_MACHINE",
+    # workloads + experiments
+    "YcsbWorkload",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "run_experiment",
+    # faults
+    "FaultPlan",
+    "CrashWindow",
+    "run_chaos",
+    # results
+    "OpResult",
+    "Metrics",
+    "Timestamp",
+]

@@ -13,9 +13,16 @@ Commands:
 * ``trace``      — trace a single replicated write and print the
   per-node protocol timeline.
 * ``sweep``      — cartesian parameter sweeps over experiment points.
+* ``bench``      — simulator performance benchmarks (events/sec,
+  messages/sec, macro YCSB wall-clock); writes ``BENCH_*.json`` and
+  optionally gates against a recorded baseline (the CI perf-smoke job).
 * ``report``     — assemble benchmarks/results/*.txt into one report.
 * ``models`` / ``configs`` — list the available DDP models and
   architecture presets.
+
+``experiment``, ``chaos`` and ``sweep`` share one set of workload flags
+and build their :class:`ExperimentConfig` through
+:func:`_experiment_config`, so a flag added there reaches all three.
 """
 
 from __future__ import annotations
@@ -43,6 +50,46 @@ FIGURES = {
 }
 
 
+def _add_experiment_args(parser: argparse.ArgumentParser, *,
+                         nodes: int = 5, records: int = 200,
+                         requests: int = 80, clients: int = 3,
+                         write_fraction: float = 0.5) -> None:
+    """The shared experiment-point flags (defaults vary per command)."""
+    parser.add_argument("--arch", default="MINOS-B",
+                        help="architecture preset (see `configs`)")
+    parser.add_argument("--model", default="synch",
+                        help="DDP model (see `models`)")
+    parser.add_argument("--nodes", type=int, default=nodes)
+    parser.add_argument("--records", type=int, default=records)
+    parser.add_argument("--requests", type=int, default=requests)
+    parser.add_argument("--clients", type=int, default=clients)
+    parser.add_argument("--write-fraction", type=float,
+                        default=write_fraction)
+    parser.add_argument("--distribution", default="zipfian",
+                        choices=("zipfian", "uniform"))
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--value-size", type=int, default=None,
+                        help="record payload bytes (default 1024)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the results as JSON")
+
+
+def _experiment_config(args) -> ExperimentConfig:
+    """The one place CLI flags become an :class:`ExperimentConfig`."""
+    return ExperimentConfig(
+        model=model_by_name(args.model),
+        config=config_by_name(args.arch),
+        nodes=args.nodes,
+        records=args.records,
+        requests_per_client=args.requests,
+        clients_per_node=args.clients,
+        write_fraction=args.write_fraction,
+        distribution=args.distribution,
+        seed=args.seed,
+        value_size=args.value_size,
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -51,22 +98,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     experiment = sub.add_parser(
         "experiment", help="run one experiment point")
-    experiment.add_argument("--arch", default="MINOS-B",
-                            help="architecture preset (see `configs`)")
-    experiment.add_argument("--model", default="synch",
-                            help="DDP model (see `models`)")
-    experiment.add_argument("--nodes", type=int, default=5)
-    experiment.add_argument("--records", type=int, default=200)
-    experiment.add_argument("--requests", type=int, default=80)
-    experiment.add_argument("--clients", type=int, default=3)
-    experiment.add_argument("--write-fraction", type=float, default=0.5)
-    experiment.add_argument("--distribution", default="zipfian",
-                            choices=("zipfian", "uniform"))
-    experiment.add_argument("--seed", type=int, default=42)
-    experiment.add_argument("--value-size", type=int, default=None,
-                            help="record payload bytes (default 1024)")
-    experiment.add_argument("--json", action="store_true",
-                            help="emit the full metrics as JSON")
+    _add_experiment_args(experiment)
 
     figure = sub.add_parser("figure", help="regenerate a paper artifact")
     figure.add_argument("name", choices=sorted(FIGURES))
@@ -76,16 +108,8 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos = sub.add_parser(
         "chaos", help="run a workload under seeded fault injection and "
         "check runtime invariants")
-    chaos.add_argument("--arch", default="MINOS-B",
-                       help="architecture preset (see `configs`)")
-    chaos.add_argument("--model", default="synch",
-                       help="DDP model (see `models`)")
-    chaos.add_argument("--nodes", type=int, default=4)
-    chaos.add_argument("--records", type=int, default=50)
-    chaos.add_argument("--requests", type=int, default=30)
-    chaos.add_argument("--clients", type=int, default=2)
-    chaos.add_argument("--write-fraction", type=float, default=0.8)
-    chaos.add_argument("--seed", type=int, default=42)
+    _add_experiment_args(chaos, nodes=4, records=50, requests=30,
+                         clients=2, write_fraction=0.8)
     chaos.add_argument("--drop", type=float, default=0.01,
                        help="per-packet loss probability")
     chaos.add_argument("--duplicate", type=float, default=0.0,
@@ -98,8 +122,6 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="crash time in us")
     chaos.add_argument("--restore-at", type=float, default=600.0,
                        help="restart time in us (-1: stay down)")
-    chaos.add_argument("--json", action="store_true",
-                       help="emit the full chaos report as JSON")
 
     verify = sub.add_parser("verify", help="model-check a protocol")
     verify.add_argument("--model", default="synch")
@@ -120,9 +142,26 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="axis specs: name=v1,v2,... (fields of the "
                        "experiment config, plus persist_latency / "
                        "fifo_entries)")
-    sweep.add_argument("--records", type=int, default=100)
-    sweep.add_argument("--requests", type=int, default=40)
-    sweep.add_argument("--clients", type=int, default=2)
+    _add_experiment_args(sweep, records=100, requests=40, clients=2)
+
+    bench = sub.add_parser(
+        "bench", help="simulator performance benchmarks "
+        "(events/sec, messages/sec, macro YCSB wall-clock)")
+    bench.add_argument("--only", default="all",
+                       choices=("all", "micro", "macro"),
+                       help="which benchmark group to run")
+    bench.add_argument("--repeats", type=int, default=3,
+                       help="timed repetitions per benchmark (best wins)")
+    bench.add_argument("--output", default=None, metavar="FILE",
+                       help="write the BENCH_*.json payload here")
+    bench.add_argument("--check", default=None, metavar="BASELINE",
+                       help="compare against a recorded BENCH_*.json; "
+                       "exit 1 on a regression beyond --tolerance")
+    bench.add_argument("--tolerance", type=float, default=2.0,
+                       help="allowed slowdown factor for --check "
+                       "(default 2.0)")
+    bench.add_argument("--json", action="store_true",
+                       help="print the payload as JSON instead of a table")
 
     report = sub.add_parser(
         "report", help="assemble benchmarks/results/*.txt into one report")
@@ -136,18 +175,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_experiment(args) -> int:
-    config = ExperimentConfig(
-        model=model_by_name(args.model),
-        config=config_by_name(args.arch),
-        nodes=args.nodes,
-        records=args.records,
-        requests_per_client=args.requests,
-        clients_per_node=args.clients,
-        write_fraction=args.write_fraction,
-        distribution=args.distribution,
-        seed=args.seed,
-        value_size=args.value_size,
-    )
+    config = _experiment_config(args)
     result = run_experiment(config)
     if args.json:
         import json
@@ -189,15 +217,17 @@ def _cmd_chaos(args) -> int:
     plan = FaultPlan.lossy(seed=args.seed, drop=args.drop,
                            duplicate=args.duplicate, delay=args.delay,
                            crashes=crashes)
-    cluster = MinosCluster(model=model_by_name(args.model),
-                           config=config_by_name(args.arch),
-                           params=DEFAULT_MACHINE.with_nodes(args.nodes))
-    workload = YcsbWorkload(records=args.records,
-                            requests_per_client=args.requests,
-                            write_fraction=args.write_fraction,
-                            seed=args.seed)
+    config = _experiment_config(args)
+    cluster = MinosCluster(model=config.model, config=config.config,
+                           params=config.machine.with_nodes(config.nodes))
+    workload = YcsbWorkload(records=config.records,
+                            requests_per_client=config.requests_per_client,
+                            write_fraction=config.write_fraction,
+                            distribution=config.distribution,
+                            seed=config.seed,
+                            value_size=config.value_size)
     result = run_chaos(cluster, plan, workload,
-                       clients_per_node=args.clients)
+                       clients_per_node=config.clients_per_node)
     if args.json:
         import json
 
@@ -266,12 +296,46 @@ def _cmd_trace(args) -> int:
 def _cmd_sweep(args) -> int:
     from repro.bench.sweep import Sweep, parse_axis
 
-    base = ExperimentConfig(records=args.records,
-                            requests_per_client=args.requests,
-                            clients_per_node=args.clients)
+    base = _experiment_config(args)
     axes = dict(parse_axis(spec) for spec in args.axes)
     rows = Sweep(base, axes).run()
+    if args.json:
+        import json
+
+        print(json.dumps(rows, indent=2))
+        return 0
     print(format_table(rows))
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.bench import perf
+
+    payload = perf.run_bench(only=args.only, repeats=args.repeats)
+    if args.output:
+        import json
+
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+    if args.json:
+        import json
+
+        print(json.dumps(payload, indent=2))
+    else:
+        print(perf.format_report(payload))
+        if args.output:
+            print(f"wrote {args.output}")
+    if args.check:
+        failures = perf.check_against(payload,
+                                      perf.load_baseline(args.check),
+                                      tolerance=args.tolerance)
+        for failure in failures:
+            print(f"PERF REGRESSION: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print(f"perf check vs {args.check}: ok "
+              f"(tolerance {args.tolerance:g}x)")
     return 0
 
 
@@ -316,6 +380,7 @@ def _cmd_configs(_args) -> int:
 
 
 _COMMANDS = {
+    "bench": _cmd_bench,
     "chaos": _cmd_chaos,
     "experiment": _cmd_experiment,
     "figure": _cmd_figure,

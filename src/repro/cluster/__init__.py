@@ -2,5 +2,7 @@
 
 from repro.cluster.client import ClosedLoopClient, OpenLoopClient
 from repro.cluster.cluster import MinosCluster, Node
+from repro.cluster.results import OpResult
 
-__all__ = ["ClosedLoopClient", "MinosCluster", "Node", "OpenLoopClient"]
+__all__ = ["ClosedLoopClient", "MinosCluster", "Node", "OpResult",
+           "OpenLoopClient"]

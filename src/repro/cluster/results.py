@@ -1,0 +1,71 @@
+"""Result types for direct cluster operations.
+
+:class:`OpResult` is the stable return type of
+:meth:`~repro.cluster.cluster.MinosCluster.write` / ``read`` /
+``persist_scope`` — one frozen record per completed operation, carrying
+the client-visible value, the end-to-end latency, and the volatile /
+durable timestamps the DDP model established for the touched key.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+from typing import Any, Iterator, Optional
+
+from repro.core.timestamp import Timestamp
+
+
+@dataclass(frozen=True)
+class OpResult:
+    """Outcome of one direct cluster operation.
+
+    Attributes
+    ----------
+    op:
+        ``"write"``, ``"read"`` or ``"persist"``.
+    key:
+        The key the operation touched (the scope id for ``"persist"``).
+    value:
+        The value written / read; ``None`` for ``"persist"``.
+    latency:
+        End-to-end latency in simulated seconds.
+    volatile_ts:
+        Timestamp of the key's volatile (client-visible) version after
+        the operation; ``None`` when the operation establishes no
+        volatile version ([PERSIST]sc).
+    durable_ts:
+        Timestamp of the key's durable version as far as this operation
+        can vouch for it: for writes, set only when the model persists in
+        the critical path; for reads, the key's current ``glb_durableTS``.
+    obsolete:
+        Writes only — True when the write lost its timestamp race and
+        was absorbed without installing a new version (§III-A).
+    """
+
+    op: str
+    key: Any
+    value: Any
+    latency: float
+    volatile_ts: Optional[Timestamp]
+    durable_ts: Optional[Timestamp]
+    obsolete: bool = False
+
+    @property
+    def ts(self) -> Optional[Timestamp]:
+        """The operation's volatile timestamp (the pre-facade name)."""
+        return self.volatile_ts
+
+    def __iter__(self) -> Iterator[Any]:
+        """Deprecated tuple-unpacking shim, removed next release.
+
+        Yields ``(value, latency, volatile_ts, durable_ts)`` so code
+        written against the old positional returns keeps working for one
+        release, loudly.
+        """
+        warnings.warn(
+            "tuple-unpacking an OpResult is deprecated; use the named "
+            "fields (value, latency, volatile_ts, durable_ts)",
+            DeprecationWarning, stacklevel=2)
+        return iter((self.value, self.latency, self.volatile_ts,
+                     self.durable_ts))

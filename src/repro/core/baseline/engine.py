@@ -46,6 +46,10 @@ class BaselineEngine(EngineBase):
         #: Hook for the recovery manager: called with non-protocol payloads.
         self.control_handler = None
         validate_model(model)
+        # Process names rendered once here: the dispatch loop spawns a
+        # handler per message, and per-spawn f-strings are measurable.
+        self._handler_names = {t: f"n{node_id}.h.{t.name}" for t in MsgType}
+        self._persist_name = f"n{node_id}.persist"
         sim.spawn(self._dispatch_loop(), name=f"n{node_id}.dispatch")
 
     # ======================================================================
@@ -147,7 +151,8 @@ class BaselineEngine(EngineBase):
                                                            size=size))
         started = self.sim.now
         self.metrics.counters.writes_started += 1
-        self.trace("write", "start", key=key)
+        if self.tracer is not None:
+            self.trace("write", "start", key=key)
         if self.model.uses_scopes and scope is None:
             scope = 0  # default scope for unscoped writes under <Lin, Scope>
         params = self.params
@@ -171,7 +176,8 @@ class BaselineEngine(EngineBase):
                                      scope=scope, size=size))
             txn = self.register_txn(key, ts, msg.write_id)
             txn.inv_deposited_at = self.sim.now
-            self.trace("write", "INVs deposited", key=key, ts=ts)
+            if self.tracer is not None:
+                self.trace("write", "INVs deposited", key=key, ts=ts)
             yield from self._deposit_invs(msg)  # line 11: send INVs
             self.watch_retransmits(txn, msg, self._resend)
             yield self.host.llc.access(self.record_size(size))  # line 12
@@ -193,18 +199,20 @@ class BaselineEngine(EngineBase):
                 self._background_persist(key, value, ts, scope, txn,
                                          scope_event,
                                          size=self.record_size(size)),
-                name=f"n{self.node_id}.bgpersist.w{txn.write_id}")
+                name=self._persist_name)
         yield from self._coordinator_finish(txn, meta, key, ts, scope)
         latency = self.record_write_metrics(txn, started)
-        self.trace("write", "complete", key=key, ts=ts,
-                   latency_s=latency)
+        if self.tracer is not None:
+            self.trace("write", "complete", key=key, ts=ts,
+                       latency_s=latency)
         return WriteResult(key, ts, False, latency)
 
     def _persist_record(self, key, value, ts, scope) -> None:
         """Logical durability point: append to the NVM log."""
         self.kv.persist(key, value, ts, scope=scope)
         self.metrics.counters.persists += 1
-        self.trace("persist", "NVM", key=key, ts=ts)
+        if self.tracer is not None:
+            self.trace("persist", "NVM", key=key, ts=ts)
 
     def _local_persist(self, key, value, ts, scope, txn: WriteTxn) -> None:
         self._persist_record(key, value, ts, scope)
@@ -246,7 +254,7 @@ class BaselineEngine(EngineBase):
             yield txn.all_ack_cs  # step e: return to client after ACK_Cs
             meta.set_glb_volatile(ts)
             self.sim.spawn(self._renf_finish(txn, meta, key, ts, scope),
-                           name=f"n{self.node_id}.renf.w{txn.write_id}")
+                           name=self._persist_name)
         else:  # EVENTUAL, SCOPE (Fig. 3 v-viii)
             yield txn.all_ack_cs
             meta.set_glb_volatile(ts)
@@ -355,7 +363,7 @@ class BaselineEngine(EngineBase):
         else:  # <EC, Event>
             self.sim.spawn(self._ec_background_persist(
                 key, value, ts, size=self.record_size(size)),
-                           name=f"n{self.node_id}.ecpersist")
+                           name=self._persist_name)
         latency = self.sim.now - started
         self.metrics.record_write(latency)
         self.trace("write", "complete (EC)", key=key, ts=ts,
@@ -387,7 +395,7 @@ class BaselineEngine(EngineBase):
             self.sim.spawn(
                 self._ec_background_persist(msg.key, msg.value, msg.ts,
                                             size=self.record_size(msg)),
-                name=f"n{self.node_id}.ecpersist")
+                name=self._persist_name)
 
     # ======================================================================
     # Follower side (Fig. 2 right, Fig. 3 deltas)
@@ -404,7 +412,7 @@ class BaselineEngine(EngineBase):
             message = envelope.payload if envelope else payload
             if isinstance(message, Message):
                 self.sim.spawn(self._handle_message(message),
-                               name=f"n{self.node_id}.h.{message.type.name}")
+                               name=self._handler_names[message.type])
             elif self.control_handler is not None:
                 self.control_handler(message)
 
@@ -468,7 +476,8 @@ class BaselineEngine(EngineBase):
     def _follower_inv(self, msg: Message):
         """Fig. 2 lines 26-40 (Follower INV handling)."""
         handling_started = self.sim.now
-        self.trace("follower", "INV received", key=msg.key, ts=msg.ts)
+        if self.tracer is not None:
+            self.trace("follower", "INV received", key=msg.key, ts=msg.ts)
         params = self.params
         meta = self.kv.meta(msg.key)
         p = self.model.persistency
@@ -510,13 +519,13 @@ class BaselineEngine(EngineBase):
         elif p is P.READ_ENFORCED:
             yield from self._reply(msg, MsgType.ACK_C)
             self.sim.spawn(self._renf_follower_persist(msg),
-                           name=f"n{self.node_id}.fpersist.w{msg.write_id}")
+                           name=self._persist_name)
         else:  # EVENTUAL, SCOPE
             yield from self._reply(msg, MsgType.ACK_C)
             scope_event = (self.scope_tracker.register_write(msg.scope)
                            if msg.scope is not None else None)
             self.sim.spawn(self._eventual_persist(msg, scope_event),
-                           name=f"n{self.node_id}.fpersist.w{msg.write_id}")
+                           name=self._persist_name)
 
     def _renf_follower_persist(self, msg: Message):
         """REnf: persist off the critical path, then send ACK_P."""

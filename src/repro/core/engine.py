@@ -28,7 +28,7 @@ from repro.sim.events import Event
 from repro.sim.kernel import Simulator
 
 
-@dataclass
+@dataclass(slots=True)
 class WriteResult:
     """Returned by ``client_write`` when control returns to the client."""
 
@@ -38,7 +38,7 @@ class WriteResult:
     latency: float
 
 
-@dataclass
+@dataclass(slots=True)
 class ReadResult:
     """Returned by ``client_read``."""
 
@@ -56,6 +56,11 @@ class WriteTxn:
     coordinator algorithm waits on.
     """
 
+    __slots__ = ("sim", "write_id", "key", "ts", "expected", "excluded",
+                 "acks", "ack_cs", "ack_ps", "all_acks", "all_ack_cs",
+                 "all_ack_ps", "local_persist_done", "host_complete",
+                 "local_enqueued", "inv_deposited_at", "last_ack_at")
+
     def __init__(self, sim: Simulator, write_id: int, key: Any,
                  ts: Timestamp, expected) -> None:
         self.sim = sim
@@ -70,15 +75,15 @@ class WriteTxn:
         self.acks: set = set()
         self.ack_cs: set = set()
         self.ack_ps: set = set()
-        self.all_acks = sim.event(label=f"w{write_id}.acks")
-        self.all_ack_cs = sim.event(label=f"w{write_id}.ack_cs")
-        self.all_ack_ps = sim.event(label=f"w{write_id}.ack_ps")
-        self.local_persist_done = sim.event(label=f"w{write_id}.persist")
+        self.all_acks = Event(sim)
+        self.all_ack_cs = Event(sim)
+        self.all_ack_ps = Event(sim)
+        self.local_persist_done = Event(sim)
         #: MINOS-O only: fired when the host learns the write completed
         #: (the batched ACK / final forwarded ACK arrived over PCIe).
-        self.host_complete = sim.event(label=f"w{write_id}.host")
+        self.host_complete = Event(sim)
         #: MINOS-O only: fired once the local vFIFO enqueue finished.
-        self.local_enqueued = sim.event(label=f"w{write_id}.venq")
+        self.local_enqueued = Event(sim)
         #: Filled by the engine for the Fig. 4 communication accounting.
         self.inv_deposited_at: Optional[float] = None
         self.last_ack_at: Optional[float] = None

@@ -39,13 +39,14 @@ class MsgType(Enum):
     #: SNIC -> host only: "all ACKs in, your write is complete".
     BATCHED_ACK = auto()
 
-    @property
-    def is_ack(self) -> bool:
-        return self in (MsgType.ACK, MsgType.ACK_C, MsgType.ACK_P)
 
-    @property
-    def is_val(self) -> bool:
-        return self in (MsgType.VAL, MsgType.VAL_C, MsgType.VAL_P)
+# ``is_ack`` / ``is_val`` are plain member attributes, not properties:
+# every received message checks them, and a property + tuple-membership
+# test per message is measurable at that frequency.
+for _member in MsgType:
+    _member.is_ack = _member.name in ("ACK", "ACK_C", "ACK_P")
+    _member.is_val = _member.name in ("VAL", "VAL_C", "VAL_P")
+del _member
 
 
 #: Message types that may travel between nodes (Table I, check 4a).
@@ -55,7 +56,7 @@ NETWORK_LEGAL = frozenset({
 })
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """One protocol message.
 

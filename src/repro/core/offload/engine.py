@@ -61,6 +61,22 @@ class OffloadEngine(EngineBase):
         self._pending_entries: Dict[Tuple[Any, Timestamp], FifoEntry] = {}
         #: Coordinator SNIC-side per-write state (created on first INV).
         self._coord_seen: set = set()
+        # Process names rendered once here: these spawn per message /
+        # per write, and per-spawn f-strings are measurable.
+        self._snic_handler_names = {t: f"n{node_id}.snic.{t.name}"
+                                    for t in MsgType}
+        self._hosth_name = f"n{node_id}.hosth"
+        self._vtail_name = f"n{node_id}.vtail"
+        self._dtail_name = f"n{node_id}.dtail"
+        self._cinv_name = f"n{node_id}.snic.cinv"
+        self._cper_name = f"n{node_id}.snic.cper"
+        self._clocal_name = f"n{node_id}.snic.clocal"
+        self._eclocal_name = f"n{node_id}.snic.eclocal"
+        self._dq_name = f"n{node_id}.snic.dq"
+        self._fdq_name = f"n{node_id}.snic.fdq"
+        self._ecdq_name = f"n{node_id}.snic.ecdq"
+        self._done_name = f"n{node_id}.snic.done"
+        self._notify_name = f"n{node_id}.snic.notify"
         snic.start_drains(self._vfifo_apply, self._dfifo_apply)
         sim.spawn(self._host_dispatch_loop(), name=f"n{node_id}.host.dispatch")
         sim.spawn(self._snic_host_loop(), name=f"n{node_id}.snic.hostq")
@@ -82,10 +98,11 @@ class OffloadEngine(EngineBase):
             entry.drained.succeed()
             return
         yield self.snic.dma_to_host(entry.size_bytes)
-        self.trace("snic", "vFIFO drained", key=entry.key,
-                   ts=entry.ts)
+        if self.tracer is not None:
+            self.trace("snic", "vFIFO drained", key=entry.key,
+                       ts=entry.ts)
         self.sim.spawn(self._vfifo_apply_tail(entry),
-                       name=f"n{self.node_id}.vtail")
+                       name=self._vtail_name)
 
     def _vfifo_apply_tail(self, entry: FifoEntry):
         yield self.host.llc.access(entry.size_bytes)
@@ -98,7 +115,7 @@ class OffloadEngine(EngineBase):
         logical log append happened at enqueue time."""
         yield self.snic.dma_to_host(entry.size_bytes)
         self.sim.spawn(self._dfifo_apply_tail(entry),
-                       name=f"n{self.node_id}.dtail")
+                       name=self._dtail_name)
 
     def _dfifo_apply_tail(self, entry: FifoEntry):
         yield self.host.nvm.persist(entry.size_bytes)
@@ -110,8 +127,9 @@ class OffloadEngine(EngineBase):
         yield from self.snic.dfifo_enqueue(entry)
         self.kv.persist(entry.key, entry.value, entry.ts, scope=entry.scope)
         self.metrics.counters.persists += 1
-        self.trace("persist", "dFIFO (durable)", key=entry.key,
-                   ts=entry.ts)
+        if self.tracer is not None:
+            self.trace("persist", "dFIFO (durable)", key=entry.key,
+                       ts=entry.ts)
 
     # ======================================================================
     # Host side (Fig. 8 lines 4-14)
@@ -135,7 +153,8 @@ class OffloadEngine(EngineBase):
                                                            size=size))
         started = self.sim.now
         self.metrics.counters.writes_started += 1
-        self.trace("write", "start", key=key)
+        if self.tracer is not None:
+            self.trace("write", "start", key=key)
         if self.model.uses_scopes and scope is None:
             scope = 0
         meta = self.kv.meta(key)
@@ -158,13 +177,15 @@ class OffloadEngine(EngineBase):
                                  size=size))
         txn = self.register_txn(key, ts, msg.write_id)
         txn.inv_deposited_at = self.sim.now
-        self.trace("write", "INV deposited to SNIC", key=key, ts=ts,
-                   batched=self.config.batching)
+        if self.tracer is not None:
+            self.trace("write", "INV deposited to SNIC", key=key, ts=ts,
+                       batched=self.config.batching)
         yield from self._host_deposit_invs(msg)  # line 10: send INV(s) to SNIC
         yield txn.host_complete  # line 14: spin for the batched ACK
         latency = self.record_write_metrics(txn, started)
-        self.trace("write", "complete", key=key, ts=ts,
-                   latency_s=latency)
+        if self.tracer is not None:
+            self.trace("write", "complete", key=key, ts=ts,
+                       latency_s=latency)
         return WriteResult(key, ts, False, latency)
 
     def _host_deposit_invs(self, msg: Message):
@@ -235,7 +256,7 @@ class OffloadEngine(EngineBase):
             message = packet.payload
             if isinstance(message, Message):
                 self.sim.spawn(self._host_handle(message),
-                               name=f"n{self.node_id}.hosth")
+                               name=self._hosth_name)
             elif self.control_handler is not None:
                 self.control_handler(message)
 
@@ -294,7 +315,7 @@ class OffloadEngine(EngineBase):
             yield from self._durable_enqueue(dentry)
         else:
             self.sim.spawn(self._background_durable(txn, dentry, None),
-                           name=f"n{self.node_id}.snic.ecdq")
+                           name=self._ecdq_name)
         done = Message(type=MsgType.BATCHED_ACK, key=msg.key, ts=msg.ts,
                        src=self.node_id, write_id=msg.write_id)
         self.snic.send_to_host(done, self.params.control_size)
@@ -315,7 +336,7 @@ class OffloadEngine(EngineBase):
         else:
             self.sim.spawn(
                 self._background_durable_follower(dentry, None),
-                name=f"n{self.node_id}.snic.ecdq")
+                name=self._ecdq_name)
 
     # ======================================================================
     # SNIC side: coordinator (Fig. 8 lines 15-24)
@@ -331,10 +352,10 @@ class OffloadEngine(EngineBase):
             msg: Message = envelope.payload
             if msg.type is MsgType.INV:
                 self.sim.spawn(self._snic_coord_inv(envelope, msg),
-                               name=f"n{self.node_id}.snic.cinv")
+                               name=self._cinv_name)
             elif msg.type is MsgType.PERSIST:
                 self.sim.spawn(self._snic_coord_persist(envelope, msg),
-                               name=f"n{self.node_id}.snic.cper")
+                               name=self._cper_name)
             else:
                 raise ProtocolError(f"unexpected host envelope: {msg}")
 
@@ -366,10 +387,10 @@ class OffloadEngine(EngineBase):
             self.watch_retransmits(txn, msg, self._snic_resend)
         if self.model.is_eventual_consistency:
             self.sim.spawn(self._snic_ec_coord_local(txn, msg),
-                           name=f"n{self.node_id}.snic.eclocal")
+                           name=self._eclocal_name)
         else:
             self.sim.spawn(self._snic_coord_local(txn, msg),
-                           name=f"n{self.node_id}.snic.clocal")
+                           name=self._clocal_name)
 
     def _snic_coord_local(self, txn: WriteTxn, msg: Message):
         """Line 17 (enqueue to vFIFO and dFIFO) plus the completion logic
@@ -380,7 +401,8 @@ class OffloadEngine(EngineBase):
                                      scope=msg.scope)
         meta.set_volatile(msg.ts)  # the enqueue is the serialization point
         yield from self.snic.vfifo_enqueue(entry)
-        self.trace("snic", "vFIFO enqueued", key=msg.key, ts=msg.ts)
+        if self.tracer is not None:
+            self.trace("snic", "vFIFO enqueued", key=msg.key, ts=msg.ts)
         if not txn.local_enqueued.triggered:
             txn.local_enqueued.succeed()
         dentry = self.snic.make_entry(msg.key, msg.ts, msg.value, size,
@@ -393,9 +415,9 @@ class OffloadEngine(EngineBase):
         else:
             self.sim.spawn(
                 self._background_durable(txn, dentry, scope_event),
-                name=f"n{self.node_id}.snic.dq")
+                name=self._dq_name)
         self.sim.spawn(self._snic_coord_completion(txn, meta, entry, msg),
-                       name=f"n{self.node_id}.snic.done")
+                       name=self._done_name)
 
     def _finish_local_persist(self, txn: WriteTxn, scope_event) -> None:
         if not txn.local_persist_done.triggered:
@@ -438,7 +460,7 @@ class OffloadEngine(EngineBase):
         """Release the RDLock and send the VALs in the model's order
         (Fig. 8 lines 21-24; Fig. 7 timelines for the other models)."""
         self.sim.spawn(self._notify_host_complete(txn, msg),
-                       name=f"n{self.node_id}.snic.notify")
+                       name=self._notify_name)
         key, ts, scope = msg.key, msg.ts, msg.scope
         p = self.model.persistency
         if p is P.SYNCHRONOUS:
@@ -524,7 +546,7 @@ class OffloadEngine(EngineBase):
         # Local scope durability: every scoped write dFIFO-enqueued, plus
         # the [PERSIST]sc marker itself.
         yield from self.scope_tracker.wait_scope_durable(msg.scope)
-        yield self.sim.timeout(
+        yield self.sim.sleep(
             self.params.dfifo_write_time(self.params.control_size))
         yield txn.all_ack_ps
         done = Message(type=MsgType.BATCHED_ACK, key=None, ts=NULL_TS,
@@ -551,7 +573,7 @@ class OffloadEngine(EngineBase):
             msg = packet.payload
             if isinstance(msg, Message):
                 self.sim.spawn(self._snic_net_handle(msg),
-                               name=f"n{self.node_id}.snic.{msg.type.name}")
+                               name=self._snic_handler_names[msg.type])
             elif self.control_handler is not None:
                 self.control_handler(msg)
 
@@ -629,7 +651,8 @@ class OffloadEngine(EngineBase):
     def _snic_follower_inv(self, msg: Message):
         """Fig. 8 lines 28-38: the whole follower runs on the SNIC."""
         handling_started = self.sim.now
-        self.trace("follower", "INV received", key=msg.key, ts=msg.ts)
+        if self.tracer is not None:
+            self.trace("follower", "INV received", key=msg.key, ts=msg.ts)
         meta = self.kv.meta(msg.key)
         if meta.is_obsolete(msg.ts):  # line 29
             yield from self._snic_ack_obsolete(meta, msg)
@@ -663,12 +686,12 @@ class OffloadEngine(EngineBase):
         elif p is P.READ_ENFORCED:
             self._snic_reply(msg, MsgType.ACK_C)
             self.sim.spawn(self._renf_follower_durable(msg, dentry),
-                           name=f"n{self.node_id}.snic.fdq")
+                           name=self._fdq_name)
         else:  # EVENTUAL, SCOPE
             self._snic_reply(msg, MsgType.ACK_C)
             self.sim.spawn(
                 self._background_durable_follower(dentry, scope_event),
-                name=f"n{self.node_id}.snic.fdq")
+                name=self._fdq_name)
         self.metrics.record_follower_handling(
             msg.write_id, self.sim.now - handling_started)
 
@@ -702,6 +725,6 @@ class OffloadEngine(EngineBase):
         """[PERSIST]sc at a follower SNIC: scope writes are durable once
         dFIFO-enqueued; wait for them, persist the marker, [ACK_P]sc."""
         yield from self.scope_tracker.wait_scope_durable(msg.scope)
-        yield self.sim.timeout(
+        yield self.sim.sleep(
             self.params.dfifo_write_time(self.params.control_size))
         self._snic_reply(msg, MsgType.ACK_P)

@@ -11,24 +11,39 @@ versions are the same, the one with the higher node_id").
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import total_ordering
 
 
-@total_ordering
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Timestamp:
-    """A logical timestamp: version number plus originating node."""
+    """A logical timestamp: version number plus originating node.
+
+    Ordering is written out explicitly (rather than via
+    ``functools.total_ordering``) because timestamp comparisons sit on
+    the protocol's per-message obsoleteness checks.
+    """
 
     version: int
     node_id: int
 
-    def _key(self) -> tuple[int, int]:
-        return (self.version, self.node_id)
-
     def __lt__(self, other: "Timestamp") -> bool:
-        if not isinstance(other, Timestamp):
-            return NotImplemented
-        return self._key() < other._key()
+        if self.version != other.version:
+            return self.version < other.version
+        return self.node_id < other.node_id
+
+    def __le__(self, other: "Timestamp") -> bool:
+        if self.version != other.version:
+            return self.version < other.version
+        return self.node_id <= other.node_id
+
+    def __gt__(self, other: "Timestamp") -> bool:
+        if self.version != other.version:
+            return self.version > other.version
+        return self.node_id > other.node_id
+
+    def __ge__(self, other: "Timestamp") -> bool:
+        if self.version != other.version:
+            return self.version > other.version
+        return self.node_id >= other.node_id
 
     @property
     def is_null(self) -> bool:

@@ -46,9 +46,10 @@ class Host:
             return
         yield self.cores.request()
         try:
-            start = self.sim.now
-            yield self.sim.timeout(duration)
-            self.busy_time += self.sim.now - start
+            # The sleep fires exactly *duration* later, so the busy-time
+            # delta is known without re-reading the clock.
+            yield self.sim.sleep(duration)
+            self.busy_time += duration
         finally:
             self.cores.release()
 

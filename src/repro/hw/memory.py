@@ -36,12 +36,16 @@ class TimedDevice:
         return self.seconds_per_kb * (size_bytes / 1024.0)
 
     def access(self, size_bytes: int) -> Event:
-        """An event that fires when the access completes."""
+        """An event that fires when the access completes.
+
+        The returned event is pooled (see :meth:`Simulator.sleep`): yield
+        it immediately, do not retain or compose it.
+        """
         if size_bytes < 0:
             raise SimulationError("size_bytes must be non-negative")
         self.ops += 1
         self.bytes_processed += size_bytes
-        return self.sim.timeout(self.service_time(size_bytes))
+        return self.sim.sleep(self.service_time(size_bytes))
 
 
 class Llc(TimedDevice):

@@ -33,7 +33,7 @@ from repro.sim.network import Mailbox, Network, Packet, Port
 _envelope_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class Envelope:
     """A message travelling between a host and its NIC, or NIC to NIC.
 
@@ -60,9 +60,19 @@ class Envelope:
         return self.dests is not None
 
 
+_endpoint_names: dict = {}
+
+
 def nic_endpoint(node_id: int) -> str:
-    """The network-fabric endpoint name for node *node_id*'s NIC."""
-    return f"nic{node_id}"
+    """The network-fabric endpoint name for node *node_id*'s NIC.
+
+    Interned in a module cache: this is called once per message hop, and
+    the f-string rendering is measurable at that frequency.
+    """
+    name = _endpoint_names.get(node_id)
+    if name is None:
+        name = _endpoint_names[node_id] = f"nic{node_id}"
+    return name
 
 
 class BaselineNic:
@@ -91,6 +101,7 @@ class BaselineNic:
         self._pcie_down = Port(sim, params.pcie.latency, params.pcie.bandwidth,
                                name=f"{self.endpoint}.pcie_down")
         self._host_inbox = host_inbox
+        self._host_name = f"host{node_id}"
         self.messages_sent = 0
         self.messages_received = 0
         #: Crash flag: while halted the NIC consumes and drops traffic
@@ -110,7 +121,7 @@ class BaselineNic:
         """
         envelope.deposited_at = self.sim.now
         packet = Packet(payload=envelope, size_bytes=envelope.size_bytes,
-                        src=f"host{self.node_id}", dst=self.endpoint,
+                        src=self._host_name, dst=self.endpoint,
                         kind="pcie")
         self._pcie_up.send(packet, self.from_host)
 
@@ -150,7 +161,7 @@ class BaselineNic:
             if envelope.is_batched:
                 yield from self._tx_batched(envelope)
             else:
-                yield self.sim.timeout(self._send_cost(envelope.size_bytes))
+                yield self.sim.sleep(self._send_cost(envelope.size_bytes))
                 self.messages_sent += 1
                 yield self.network.send(
                     self.endpoint, nic_endpoint(envelope.dst),
@@ -171,9 +182,9 @@ class BaselineNic:
         # No broadcast module: the firmware walks the destination map
         # (one fixed unpack step) and replays the payload per
         # destination, as a dumb pipe's DMA engine would.
-        yield self.sim.timeout(self.params.snic.batch_unpack_per_dest)
+        yield self.sim.sleep(self.params.snic.batch_unpack_per_dest)
         for dst in dests:
-            yield self.sim.timeout(self._send_cost(envelope.size_bytes))
+            yield self.sim.sleep(self._send_cost(envelope.size_bytes))
             self.messages_sent += 1
             copy = Envelope(payload=envelope.payload,
                             size_bytes=envelope.size_bytes,
@@ -189,9 +200,9 @@ class BaselineNic:
             if self.halted:
                 continue  # crashed: consume and drop
             self.messages_received += 1
-            yield self.sim.timeout(self.params.nic.recv_cost)
+            yield self.sim.sleep(self.params.nic.recv_cost)
             down = Packet(payload=packet.payload,
                           size_bytes=packet.size_bytes,
-                          src=self.endpoint, dst=f"host{self.node_id}",
+                          src=self.endpoint, dst=self._host_name,
                           kind="pcie")
             self._pcie_down.send(down, self._host_inbox)

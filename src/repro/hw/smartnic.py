@@ -32,7 +32,7 @@ from repro.sim.resources import BoundedBuffer, Resource, Store
 _entry_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class FifoEntry:
     """One update queued in the vFIFO or dFIFO."""
 
@@ -90,6 +90,7 @@ class SmartNic:
         self._pcie_down = Port(sim, params.pcie.latency, params.pcie.bandwidth,
                                name=f"{self.endpoint}.pcie_down")
         self._host_inbox = host_inbox
+        self._host_name = f"host{node_id}"
         self.vfifo = BoundedBuffer(sim, params.snic.vfifo_entries,
                                    label=f"{self.endpoint}.vfifo")
         self.dfifo = BoundedBuffer(sim, params.snic.dfifo_entries,
@@ -112,14 +113,14 @@ class SmartNic:
             return
         yield self.cores.request()
         try:
-            yield self.sim.timeout(duration)
+            yield self.sim.sleep(duration)
         finally:
             self.cores.release()
 
     def coherent_access(self) -> Event:
         """One access to coherent metadata (RDLock_Owner / the three TS
         fields) over the dedicated snoop bus (§V-B.2)."""
-        return self.sim.timeout(self.params.snic.coherence_access)
+        return self.sim.sleep(self.params.snic.coherence_access)
 
     def sync_op(self) -> Generator:
         """One synchronization op (compare-and-swap) on the SNIC."""
@@ -131,14 +132,14 @@ class SmartNic:
         """Host drops *envelope* into its PCIe send queue (fire and forget)."""
         envelope.deposited_at = self.sim.now
         packet = Packet(payload=envelope, size_bytes=envelope.size_bytes,
-                        src=f"host{self.node_id}", dst=self.endpoint,
+                        src=self._host_name, dst=self.endpoint,
                         kind="pcie")
         self._pcie_up.send(packet, self.from_host)
 
     def send_to_host(self, payload: Any, size_bytes: int) -> None:
         """SNIC -> host message over PCIe (e.g. the batched ACK)."""
         packet = Packet(payload=payload, size_bytes=size_bytes,
-                        src=self.endpoint, dst=f"host{self.node_id}",
+                        src=self.endpoint, dst=self._host_name,
                         kind="pcie")
         self._pcie_down.send(packet, self._host_inbox)
 
@@ -187,20 +188,20 @@ class SmartNic:
             if self.halted:
                 continue  # crashed: consume and drop
             if mode == "one":
-                yield self.sim.timeout(self._send_cost(size))
+                yield self.sim.sleep(self._send_cost(size))
                 self.messages_sent += 1
                 yield self.network.send(self.endpoint, nic_endpoint(dst),
                                         payload, size)
             elif mode == "multi" and self.broadcast:
-                yield self.sim.timeout(self.params.snic.broadcast_setup +
-                                       self._send_cost(size))
+                yield self.sim.sleep(self.params.snic.broadcast_setup +
+                                     self._send_cost(size))
                 self.messages_sent += 1
                 yield self.network.broadcast(
                     self.endpoint, [nic_endpoint(d) for d in dst],
                     payload, size)
             else:
                 for node in dst:
-                    yield self.sim.timeout(self._send_cost(size))
+                    yield self.sim.sleep(self._send_cost(size))
                     self.messages_sent += 1
                     yield self.network.send(self.endpoint,
                                             nic_endpoint(node), payload, size)
@@ -211,8 +212,8 @@ class SmartNic:
                    scope: int | None = None) -> FifoEntry:
         entry = FifoEntry(key=key, ts=ts, value=value,
                           size_bytes=size_bytes, scope=scope)
-        entry.written = self.sim.event(label=f"written:{entry.entry_id}")
-        entry.drained = self.sim.event(label=f"drained:{entry.entry_id}")
+        entry.written = Event(self.sim)
+        entry.drained = Event(self.sim)
         return entry
 
     def vfifo_enqueue(self, entry: FifoEntry) -> Generator:
@@ -222,7 +223,7 @@ class SmartNic:
         465 ns/KB write latency (Table III).
         """
         yield self.vfifo.put(entry)
-        yield self.sim.timeout(self.params.vfifo_write_time(entry.size_bytes))
+        yield self.sim.sleep(self.params.vfifo_write_time(entry.size_bytes))
         entry.written.succeed()
 
     def dfifo_enqueue(self, entry: FifoEntry) -> Generator:
@@ -232,7 +233,7 @@ class SmartNic:
         SNIC), so nothing waits for the background drain to host NVM.
         """
         yield self.dfifo.put(entry)
-        yield self.sim.timeout(self.params.dfifo_write_time(entry.size_bytes))
+        yield self.sim.sleep(self.params.dfifo_write_time(entry.size_bytes))
         entry.written.succeed()
 
     def start_drains(self, vfifo_apply: ApplyFn, dfifo_apply: ApplyFn) -> None:

@@ -31,6 +31,10 @@ class Event:
 
     __slots__ = ("sim", "callbacks", "_value", "_exc", "_label")
 
+    #: Overridden by :class:`_PooledTimeout`; checked by the kernel's run
+    #: loop to decide whether a processed event returns to the free pool.
+    _pooled = False
+
     def __init__(self, sim: "Simulator", label: str = "") -> None:
         self.sim = sim
         #: Callbacks invoked (with this event) when the event triggers.
@@ -64,7 +68,7 @@ class Event:
 
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully, delivering *value* to waiters."""
-        if self.triggered:
+        if self._value is not _UNSET or self._exc is not None:
             raise EventAlreadyTriggered(f"{self!r} already triggered")
         self._value = value
         self.sim._schedule_event(self)
@@ -72,7 +76,7 @@ class Event:
 
     def fail(self, exc: BaseException) -> "Event":
         """Trigger the event with an exception thrown into waiters."""
-        if self.triggered:
+        if self._value is not _UNSET or self._exc is not None:
             raise EventAlreadyTriggered(f"{self!r} already triggered")
         if not isinstance(exc, BaseException):
             raise SimulationError("fail() requires an exception instance")
@@ -102,17 +106,46 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires automatically after a fixed simulated delay."""
+    """An event that fires automatically after a fixed simulated delay.
+
+    Timeouts are born triggered (their value is fixed at construction);
+    the calendar entry only determines *when* waiters resume.  The
+    constructor assigns the base fields directly instead of delegating to
+    ``Event.__init__`` — timeouts dominate the calendar, and the label is
+    rendered lazily in :meth:`__repr__`.
+    """
 
     __slots__ = ("delay",)
 
     def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
-        super().__init__(sim, label=f"Timeout({delay:g})")
-        self.delay = delay
+        self.sim = sim
+        self.callbacks = []
         self._value = value
+        self._exc = None
+        self._label = ""
+        self.delay = delay
         sim._schedule_event(self, delay)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Timeout({self.delay:g}) at t={self.sim.now:.3e}>"
+
+
+class _PooledTimeout(Timeout):
+    """A kernel-recycled timeout (see :meth:`Simulator.sleep`).
+
+    After its callbacks run, the kernel clears it and returns it to the
+    simulator's free pool, so the dominant fixed-delay pattern ("occupy a
+    core for t", "serialize a packet for t") stops allocating.  Pooled
+    timeouts must be yielded immediately and never retained or composed
+    into :class:`AllOf` / :class:`AnyOf` — the object's identity is only
+    valid until it fires.
+    """
+
+    __slots__ = ()
+
+    _pooled = True
 
 
 class _Composite(Event):

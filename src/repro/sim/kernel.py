@@ -8,16 +8,34 @@ converted at the edges (see :mod:`repro.hw.params`).
 The kernel is deliberately small and single-threaded: determinism is a design
 requirement (DESIGN.md §5.4).  Ties in the calendar are broken by insertion
 order, so two runs of the same experiment produce identical event orders.
+
+Performance notes (the kernel bounds every experiment's wall-clock):
+
+* :meth:`Simulator.run` inlines the pop/advance/callback step with the heap
+  and queue bound to locals — the per-event cost is what limits events/sec
+  (see :mod:`repro.bench.perf`).
+* :meth:`Simulator.sleep` hands out pooled, recycled :class:`Timeout`
+  objects for the dominant fixed-delay pattern.  Pooling changes no
+  calendar entry — only allocation traffic — and can be disabled by
+  setting :attr:`timeout_pooling` to ``False`` (the perf-regression tests
+  assert the calendar is identical either way).
+* All scheduling funnels through :meth:`_schedule_event`, which tests may
+  wrap to record the calendar.
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop as _heappop, heappush as _heappush
 from typing import Any, List, Optional, Tuple
 
 from repro.errors import SimulationError, StopSimulation
-from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.events import (AllOf, AnyOf, Event, Timeout, _PooledTimeout,
+                              _UNSET)
 from repro.sim.process import Process, ProcessGenerator
+
+#: Upper bound on the timeout free pool; past this, fired pooled timeouts
+#: are simply dropped for the garbage collector.
+_POOL_CAP = 1024
 
 
 class Simulator:
@@ -35,8 +53,15 @@ class Simulator:
         self._now: float = 0.0
         self._queue: List[Tuple[float, int, Event]] = []
         self._seq: int = 0
-        self._active_process: Optional[Process] = None
         self.strict = strict
+        #: Calendar entries processed so far (one per fired event); the
+        #: numerator of the events/sec benchmarks.
+        self.events_processed: int = 0
+        #: Recycled :class:`_PooledTimeout` instances (see :meth:`sleep`).
+        self._timeout_pool: List[_PooledTimeout] = []
+        #: Disable to make :meth:`sleep` allocate like :meth:`timeout`
+        #: (used by tests proving pooling is calendar-transparent).
+        self.timeout_pooling: bool = True
 
     # -- time ---------------------------------------------------------------
 
@@ -54,6 +79,28 @@ class Simulator:
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """An event that fires *delay* seconds from now."""
         return Timeout(self, delay, value)
+
+    def sleep(self, delay: float, value: Any = None) -> Timeout:
+        """A pooled :meth:`timeout` for the hot fixed-delay pattern.
+
+        The returned object is recycled after its callbacks run, so the
+        caller must consume it immediately (``yield sim.sleep(t)``) and
+        must NOT retain it, re-wait on it, or compose it into
+        :class:`~repro.sim.events.AllOf` / ``AnyOf``.  Identical calendar
+        behaviour to :meth:`timeout`; only allocation traffic differs.
+        """
+        if not self.timeout_pooling:
+            return Timeout(self, delay, value)
+        pool = self._timeout_pool
+        if not pool:
+            return _PooledTimeout(self, delay, value)
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        timeout = pool.pop()
+        timeout._value = value
+        timeout.delay = delay
+        self._schedule_event(timeout, delay)
+        return timeout
 
     def all_of(self, events) -> AllOf:
         """An event that fires once every event in *events* has fired."""
@@ -73,18 +120,29 @@ class Simulator:
         """Put *event* on the calendar to run its callbacks after *delay*."""
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        self._seq += 1
-        heapq.heappush(self._queue, (self._now + delay, self._seq, event))
+        seq = self._seq + 1
+        self._seq = seq
+        _heappush(self._queue, (self._now + delay, seq, event))
 
     def _step(self) -> None:
         """Process the next calendar entry."""
-        when, _seq, event = heapq.heappop(self._queue)
+        when, _seq, event = _heappop(self._queue)
         self._now = when
-        if isinstance(event, Timeout) and not event.triggered:
-            # Timeouts carry their value from construction; mark triggered so
-            # Event.value works, without re-scheduling.
-            pass
-        event._run_callbacks()
+        self.events_processed += 1
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks:
+            for callback in callbacks:
+                callback(event)
+        if event._pooled:
+            self._recycle(event)
+
+    def _recycle(self, timeout: _PooledTimeout) -> None:
+        """Return a fired pooled timeout to the free pool."""
+        pool = self._timeout_pool
+        if len(pool) < _POOL_CAP:
+            timeout.callbacks = []
+            timeout._value = None  # drop the payload reference
+            pool.append(timeout)
 
     # -- running --------------------------------------------------------------
 
@@ -98,14 +156,49 @@ class Simulator:
         if until is not None and until < self._now:
             raise SimulationError(
                 f"run(until={until}) is in the past (now={self._now})")
+        # The hot loop: one iteration per calendar entry.  Locals bound
+        # outside the loop; the callback step is inlined (Event.
+        # _run_callbacks and _step are kept for the cold run_until path).
+        queue = self._queue
+        pop = _heappop
+        pool = self._timeout_pool
+        processed = 0
         try:
-            while self._queue:
-                if until is not None and self._queue[0][0] > until:
-                    self._now = until
-                    return
-                self._step()
+            if until is None:
+                while queue:
+                    when, _seq, event = pop(queue)
+                    self._now = when
+                    processed += 1
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    if callbacks:
+                        for callback in callbacks:
+                            callback(event)
+                    if event._pooled and len(pool) < _POOL_CAP:
+                        event.callbacks = []
+                        event._value = None
+                        pool.append(event)
+            else:
+                while queue:
+                    if queue[0][0] > until:
+                        self._now = until
+                        return
+                    when, _seq, event = pop(queue)
+                    self._now = when
+                    processed += 1
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    if callbacks:
+                        for callback in callbacks:
+                            callback(event)
+                    if event._pooled and len(pool) < _POOL_CAP:
+                        event.callbacks = []
+                        event._value = None
+                        pool.append(event)
         except StopSimulation:
             return
+        finally:
+            self.events_processed += processed
         if until is not None:
             self._now = until
 

@@ -23,7 +23,7 @@ from repro.sim.resources import Store
 _packet_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """A message in flight.
 
@@ -53,9 +53,15 @@ class Packet:
 class Mailbox(Store):
     """A named receive queue for packets."""
 
+    __slots__ = ("name",)
+
     def __init__(self, sim: Simulator, name: str) -> None:
         super().__init__(sim, label=name)
         self.name = name
+
+    def _deliver_cb(self, event: Event) -> None:
+        """Calendar callback used by :meth:`Port._schedule_delivery`."""
+        self.put(event._value)
 
 
 class Port:
@@ -114,10 +120,11 @@ class Port:
     def _schedule_delivery(self, packet: Packet, mailbox: Mailbox,
                            when: float) -> None:
         packet.delivered_at = when
-        event = self.sim.event(label=f"deliver:{packet.packet_id}")
+        sim = self.sim
+        event = Event(sim)
         event._value = packet
-        event.add_callback(lambda _e: mailbox.put(packet))
-        self.sim._schedule_event(event, when - self.sim.now)
+        event.callbacks.append(mailbox._deliver_cb)
+        sim._schedule_event(event, when - sim.now)
 
     # -- API ------------------------------------------------------------------
 
@@ -132,14 +139,14 @@ class Port:
         self.packets_sent += 1
         self.bytes_sent += packet.size_bytes
         self._deliver(packet, mailbox, done + self.latency)
-        return self.sim.timeout(wait, value=packet)
+        return self.sim.sleep(wait, value=packet)
 
     def transfer(self, size_bytes: int) -> Event:
         """Claim the port for a raw transfer (e.g. a DMA) with no mailbox
         delivery; fires after serialization plus propagation latency."""
         _done, wait = self._claim(size_bytes)
         self.bytes_sent += size_bytes
-        return self.sim.timeout(wait + self.latency)
+        return self.sim.sleep(wait + self.latency)
 
     def send_broadcast(self, packets_and_boxes: Iterable[tuple[Packet, Mailbox]],
                        size_bytes: int) -> Event:
@@ -158,7 +165,7 @@ class Port:
         for packet, mailbox in pairs:
             packet.sent_at = self.sim.now
             self._deliver(packet, mailbox, done + self.latency)
-        return self.sim.timeout(wait)
+        return self.sim.sleep(wait)
 
 
 class Network:

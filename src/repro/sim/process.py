@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Generator
 
 from repro.errors import SimulationError
-from repro.sim.events import Event
+from repro.sim.events import Event, _UNSET
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.kernel import Simulator
@@ -28,7 +28,7 @@ class Process(Event):
     generator finishes, or fails with the generator's uncaught exception.
     """
 
-    __slots__ = ("generator", "name", "_waiting_on")
+    __slots__ = ("generator", "name", "_waiting_on", "_send", "_throw")
 
     def __init__(self, sim: "Simulator", generator: ProcessGenerator,
                  name: str = "") -> None:
@@ -36,12 +36,22 @@ class Process(Event):
             raise SimulationError(
                 f"Process requires a generator, got {type(generator).__name__}; "
                 "did you forget to call the process function?")
-        super().__init__(sim, label=name or getattr(generator, "__name__", "proc"))
+        # Base fields assigned directly (the engines spawn a process per
+        # message, so construction is hot — same treatment as Timeout).
+        self.sim = sim
+        self.callbacks = []
+        self._value = _UNSET
+        self._exc = None
+        self._label = name or getattr(generator, "__name__", "proc")
         self.generator = generator
         self.name = self._label
         self._waiting_on: Event | None = None
+        # Bound once here: _resume runs per yield, and creating these bound
+        # methods there shows up in profiles.
+        self._send = generator.send
+        self._throw = generator.throw
         # Kick off the process at the current simulation time.
-        bootstrap = Event(sim, label=f"start:{self.name}")
+        bootstrap = Event(sim)
         bootstrap._value = None
         bootstrap.add_callback(self._resume)
         sim._schedule_event(bootstrap)
@@ -55,23 +65,21 @@ class Process(Event):
         """Advance the generator with the value/exception of *trigger*."""
         self._waiting_on = None
         sim = self.sim
-        sim._active_process = self
         try:
-            if trigger.ok:
-                target = self.generator.send(trigger.value)
+            # Direct slot access: *trigger* has fired by the time the kernel
+            # invokes this callback, so _exc/_value fully describe it.
+            if trigger._exc is None:
+                target = self._send(trigger._value)
             else:
-                target = self.generator.throw(trigger._exc)
+                target = self._throw(trigger._exc)
         except StopIteration as stop:
-            sim._active_process = None
             self.succeed(stop.value)
             return
         except BaseException as exc:
-            sim._active_process = None
             if sim.strict:
                 raise
             self.fail(exc)
             return
-        sim._active_process = None
         if not isinstance(target, Event):
             raise SimulationError(
                 f"process {self.name!r} yielded {target!r}; processes may "
@@ -80,7 +88,11 @@ class Process(Event):
             raise SimulationError(
                 f"process {self.name!r} yielded an event from another simulator")
         self._waiting_on = target
-        target.add_callback(self._resume)
+        # Inlined target.add_callback(self._resume): one yield = one wait.
+        if target.callbacks is None:
+            self._resume(target)
+        else:
+            target.callbacks.append(self._resume)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "done" if self.triggered else "alive"

@@ -40,7 +40,7 @@ class Gate:
 
     def wait(self) -> Event:
         """An event that fires at the next :meth:`fire` call."""
-        event = self.sim.event(label=f"gate:{self.label}")
+        event = Event(self.sim)
         self._waiters.append(event)
         return event
 
@@ -89,7 +89,7 @@ class Store:
 
     def get(self) -> Event:
         """An event that fires with the next available item."""
-        event = self.sim.event(label=f"get:{self.label}")
+        event = Event(self.sim)
         if self._items:
             event.succeed(self._items.popleft())
         else:
@@ -136,7 +136,7 @@ class BoundedBuffer:
 
     def put(self, item: Any) -> Event:
         """An event that fires once *item* has entered the buffer."""
-        event = self.sim.event(label=f"put:{self.label}")
+        event = Event(self.sim)
         if self._getters:
             # Hand the item straight to the oldest waiting consumer.
             self._getters.popleft().succeed(item)
@@ -150,7 +150,7 @@ class BoundedBuffer:
 
     def get(self) -> Event:
         """An event that fires with the oldest buffered item."""
-        event = self.sim.event(label=f"bget:{self.label}")
+        event = Event(self.sim)
         if self._items:
             event.succeed(self._items.popleft())
             self._admit_waiting_putter()
@@ -196,7 +196,7 @@ class Resource:
 
     def request(self) -> Event:
         """An event that fires once a slot has been granted."""
-        event = self.sim.event(label=f"req:{self.label}")
+        event = Event(self.sim)
         if self._in_use < self.capacity:
             self._in_use += 1
             event.succeed(None)

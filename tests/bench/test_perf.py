@@ -1,0 +1,150 @@
+"""Tests for the performance benchmark harness (:mod:`repro.bench.perf`).
+
+Runs the micro benchmarks at tiny sizes (the point is the plumbing, not
+the numbers), pins the BENCH_*.json payload shape, and exercises the
+``check_against`` regression gate both ways — including against the
+committed CI baseline in ``benchmarks/bench_baseline.json``.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench import perf
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+COMMITTED_BASELINE = REPO_ROOT / "benchmarks" / "bench_baseline.json"
+
+
+def tiny_payload(events_per_sec=1000.0, messages_per_sec=500.0):
+    return {
+        "schema": perf.SCHEMA,
+        "python": "3.x",
+        "benchmarks": {
+            "micro_events": {"wall_s": 1.0, "events": 1000,
+                             "events_per_sec": events_per_sec,
+                             "repeats": 1},
+            "micro_messages": {"wall_s": 1.0, "events": 1000,
+                               "events_per_sec": events_per_sec,
+                               "messages": 500.0,
+                               "messages_per_sec": messages_per_sec,
+                               "repeats": 1},
+        },
+    }
+
+
+class TestMicroBenchmarks:
+    def test_micro_events_counts_every_hop(self):
+        result = perf.bench_micro_events(chains=2, hops=40, repeats=1)
+        assert result.name == "micro_events"
+        # 2 chains x 40 timeouts, plus per-process bootstrap/finish
+        # events — the exact overhead is a kernel detail, the hops are
+        # the contract.
+        assert result.events >= 80
+        assert result.wall_s > 0
+        assert result.events_per_sec == pytest.approx(
+            result.events / result.wall_s)
+
+    def test_micro_messages_reports_message_rate(self):
+        result = perf.bench_micro_messages(messages=50, repeats=1)
+        assert result.name == "micro_messages"
+        assert result.extra["messages"] == 50.0
+        assert result.extra["messages_per_sec"] == pytest.approx(
+            50 / result.wall_s)
+        assert result.events > 50
+
+    def test_to_dict_flattens_extras(self):
+        result = perf.bench_micro_messages(messages=20, repeats=1)
+        payload = result.to_dict()
+        assert set(payload) == {"wall_s", "events", "events_per_sec",
+                                "repeats", "messages", "messages_per_sec"}
+
+
+class TestRunBench:
+    def test_unknown_group_rejected(self):
+        with pytest.raises(ValueError, match="unknown benchmark group"):
+            perf.run_bench(only="nope")
+
+    def test_groups_cover_all_benchmarks(self):
+        assert set(perf.GROUPS["all"]) == \
+            set(perf.GROUPS["micro"]) | set(perf.GROUPS["macro"])
+
+    def test_payload_shape(self, monkeypatch):
+        # Patch in tiny benchmark sizes so this stays a unit test.
+        monkeypatch.setitem(
+            perf._BENCHMARKS, "micro_events",
+            lambda repeats: perf.bench_micro_events(
+                chains=2, hops=20, repeats=repeats))
+        monkeypatch.setitem(
+            perf._BENCHMARKS, "micro_messages",
+            lambda repeats: perf.bench_micro_messages(
+                messages=20, repeats=repeats))
+        payload = perf.run_bench(only="micro", repeats=1)
+        assert payload["schema"] == perf.SCHEMA
+        assert set(payload["benchmarks"]) == {"micro_events",
+                                              "micro_messages"}
+        for result in payload["benchmarks"].values():
+            assert result["events_per_sec"] > 0
+
+
+class TestCheckAgainst:
+    def test_passes_when_rates_hold(self):
+        payload = tiny_payload()
+        assert perf.check_against(payload, tiny_payload(),
+                                  tolerance=2.0) == []
+
+    def test_passes_within_tolerance(self):
+        # 2x slower than baseline is exactly the 2.0 floor — still ok.
+        slower = tiny_payload(events_per_sec=500.0, messages_per_sec=250.0)
+        assert perf.check_against(slower, tiny_payload(),
+                                  tolerance=2.0) == []
+
+    def test_fails_past_tolerance(self):
+        slower = tiny_payload(events_per_sec=400.0, messages_per_sec=100.0)
+        failures = perf.check_against(slower, tiny_payload(),
+                                      tolerance=2.0)
+        assert len(failures) == 3  # both events rates + the message rate
+        assert any("micro_events.events_per_sec" in f for f in failures)
+        assert any("micro_messages.messages_per_sec" in f
+                   for f in failures)
+
+    def test_benchmarks_missing_from_either_side_are_skipped(self):
+        payload = tiny_payload()
+        del payload["benchmarks"]["micro_messages"]
+        assert perf.check_against(payload, tiny_payload(),
+                                  tolerance=2.0) == []
+
+    def test_rejects_nonpositive_tolerance(self):
+        with pytest.raises(ValueError, match="tolerance"):
+            perf.check_against(tiny_payload(), tiny_payload(), tolerance=0)
+
+
+class TestBaselineFiles:
+    def test_load_baseline_roundtrip(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(tiny_payload()), encoding="utf-8")
+        assert perf.load_baseline(str(path)) == tiny_payload()
+
+    def test_load_baseline_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps({"schema": "other/9"}),
+                        encoding="utf-8")
+        with pytest.raises(ValueError, match="unexpected schema"):
+            perf.load_baseline(str(path))
+
+    def test_committed_ci_baseline_is_valid(self):
+        """The file the CI perf-smoke job gates against must load and
+        cover every benchmark in the ``all`` group."""
+        baseline = perf.load_baseline(str(COMMITTED_BASELINE))
+        assert set(perf.GROUPS["all"]) <= set(baseline["benchmarks"])
+        for result in baseline["benchmarks"].values():
+            assert result["events_per_sec"] > 0
+
+
+class TestFormatReport:
+    def test_mentions_every_benchmark_and_rate(self):
+        report = perf.format_report(tiny_payload())
+        assert "micro_events" in report
+        assert "micro_messages" in report
+        assert "events/s" in report and "messages/s" in report

@@ -1,0 +1,139 @@
+"""Contract tests for the stable public API surface (:mod:`repro.api`).
+
+The facade's promise is threefold: every name in ``repro.api.__all__``
+resolves, the top-level :mod:`repro` package re-exports the same
+objects, and the :class:`~repro.cluster.results.OpResult` record keeps
+its field layout (with the one-release tuple-unpacking shim warning
+loudly).  Breaking any of these breaks downstream callers that import
+from the facade, so changes here are deliberate API events.
+"""
+
+import dataclasses
+
+import pytest
+
+import repro
+from repro import api
+from repro.api import (LIN_SCOPE, LIN_SYNCH, MINOS_B, MinosCluster,
+                       OpResult, Timestamp)
+from repro.hw.params import DEFAULT_MACHINE
+
+
+class TestFacadeSurface:
+    def test_every_name_in_all_resolves(self):
+        missing = [name for name in api.__all__ if not hasattr(api, name)]
+        assert not missing, f"repro.api.__all__ names missing: {missing}"
+
+    def test_no_duplicates_in_all(self):
+        assert len(api.__all__) == len(set(api.__all__))
+
+    def test_repro_reexports_the_facade(self):
+        """``from repro import X`` and ``from repro.api import X`` must
+        hand out the *same* object for every facade name."""
+        for name in api.__all__:
+            assert name in repro.__all__, \
+                f"{name} is in repro.api.__all__ but not repro.__all__"
+            assert getattr(repro, name) is getattr(api, name), \
+                f"repro.{name} is not the facade's object"
+
+    def test_repro_all_resolves(self):
+        missing = [name for name in repro.__all__
+                   if not hasattr(repro, name)]
+        assert not missing, f"repro.__all__ names missing: {missing}"
+
+    def test_api_module_is_exported(self):
+        assert repro.api is api
+
+    def test_star_import_matches_all(self):
+        namespace = {}
+        exec("from repro.api import *", namespace)
+        exported = {name for name in namespace if not name.startswith("_")}
+        assert exported == set(api.__all__)
+
+
+class TestOpResultContract:
+    #: The frozen field layout downstream code may rely on.
+    EXPECTED_FIELDS = ("op", "key", "value", "latency", "volatile_ts",
+                      "durable_ts", "obsolete")
+
+    def make(self, **overrides):
+        defaults = dict(op="write", key="k", value="v", latency=1.5e-6,
+                        volatile_ts=Timestamp(3, 1), durable_ts=None)
+        defaults.update(overrides)
+        return OpResult(**defaults)
+
+    def test_field_names_and_order_are_stable(self):
+        fields = tuple(f.name for f in dataclasses.fields(OpResult))
+        assert fields == self.EXPECTED_FIELDS
+
+    def test_frozen(self):
+        result = self.make()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            result.latency = 0.0
+
+    def test_obsolete_defaults_false(self):
+        assert self.make().obsolete is False
+
+    def test_ts_aliases_volatile_ts(self):
+        result = self.make()
+        assert result.ts is result.volatile_ts
+
+    def test_tuple_unpacking_shim_warns_and_matches_fields(self):
+        result = self.make(durable_ts=Timestamp(3, 1))
+        with pytest.warns(DeprecationWarning, match="tuple-unpacking"):
+            value, latency, volatile_ts, durable_ts = result
+        assert (value, latency, volatile_ts, durable_ts) == \
+            (result.value, result.latency, result.volatile_ts,
+             result.durable_ts)
+
+    def test_named_access_does_not_warn(self):
+        import warnings
+
+        result = self.make()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            _ = (result.op, result.key, result.value, result.latency,
+                 result.volatile_ts, result.durable_ts, result.obsolete)
+
+
+class TestClusterReturnsOpResult:
+    """End-to-end: the direct-operation API hands back OpResult records."""
+
+    def test_write_and_read(self):
+        cluster = MinosCluster(model=LIN_SYNCH, config=MINOS_B,
+                               params=DEFAULT_MACHINE.with_nodes(3))
+        cluster.load_records([("k", "v0")])
+
+        written = cluster.write(0, "k", "v1")
+        assert isinstance(written, OpResult)
+        assert written.op == "write"
+        assert written.key == "k" and written.value == "v1"
+        assert written.latency > 0
+        assert written.volatile_ts is not None
+        # ⟨Lin, Synch⟩ persists in the critical path, so the write
+        # vouches for durability itself.
+        assert written.durable_ts == written.volatile_ts
+        assert written.obsolete is False
+
+        read = cluster.read(1, "k")
+        assert isinstance(read, OpResult)
+        assert read.op == "read"
+        assert read.value == "v1"
+        assert read.volatile_ts == written.volatile_ts
+        assert read.durable_ts is not None
+
+    def test_persist_scope(self):
+        cluster = MinosCluster(model=LIN_SCOPE, config=MINOS_B,
+                               params=DEFAULT_MACHINE.with_nodes(3))
+        cluster.load_records([("k", "v0")])
+        write = cluster.write(0, "k", "v1", scope=5)
+        # Scoped writes complete volatile; durability waits for the
+        # explicit persist point.
+        assert write.durable_ts is None
+        persist = cluster.persist_scope(0, 5)
+        assert isinstance(persist, OpResult)
+        assert persist.op == "persist"
+        assert persist.key == 5
+        assert persist.value is None
+        assert persist.latency > 0
+        assert persist.volatile_ts is None and persist.durable_ts is None
