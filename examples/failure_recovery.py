@@ -9,9 +9,8 @@ state before rejoining.
 Run:  python examples/failure_recovery.py
 """
 
-from repro.api import LIN_SYNCH, MINOS_O, MinosCluster
-from repro.core.recovery import RecoveryManager
-from repro.hw.params import MachineParams, us
+from repro.api import (LIN_SYNCH, MINOS_O, MachineParams, MinosCluster,
+                       RecoveryManager, us)
 
 
 def main() -> None:

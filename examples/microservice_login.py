@@ -8,9 +8,8 @@ MINOS-B vs MINOS-O.
 Run:  python examples/microservice_login.py
 """
 
-from repro import MEDIA_LOGIN, SOCIAL_LOGIN
-from repro.api import LIN_SYNCH, MINOS_B, MINOS_O
-from repro.bench import run_microservice
+from repro.api import (LIN_SYNCH, MEDIA_LOGIN, MINOS_B, MINOS_O,
+                       SOCIAL_LOGIN, run_microservice)
 
 
 def main() -> None:

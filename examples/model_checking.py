@@ -8,8 +8,8 @@ invariant and printing the counterexample trace.
 Run:  python examples/model_checking.py
 """
 
-from repro.api import ALL_MODELS, LIN_SYNCH
-from repro.verify import ModelChecker, ProtocolSpec, WriteDef
+from repro.api import (ALL_MODELS, LIN_SYNCH, ModelChecker, ProtocolSpec,
+                       WriteDef)
 
 
 def main() -> None:

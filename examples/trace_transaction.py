@@ -7,8 +7,8 @@ the executable version of the paper's Figure 7(a) timeline.
 Run:  python examples/trace_transaction.py
 """
 
-from repro.api import LIN_SYNCH, MINOS_B, MINOS_O, MinosCluster
-from repro.hw.params import MachineParams
+from repro.api import (LIN_SYNCH, MINOS_B, MINOS_O, MachineParams,
+                       MinosCluster)
 
 
 def main() -> None:

@@ -16,77 +16,95 @@ Quick start::
 
 The names in :mod:`repro.api` form the stable public surface (see
 docs/api.md); they are all re-exported here.
+
+Exports resolve lazily (PEP 562): ``import repro`` is cheap, and
+tooling entry points that need no simulator — ``python -m repro lint``
+in particular — never pull in :mod:`repro.sim` at all.
 """
 
-from repro import api
-from repro.api import (CrashWindow, ExperimentConfig, ExperimentResult,
-                       FaultPlan, OpResult, run_chaos, run_experiment)
-from repro.cluster import ClosedLoopClient, MinosCluster, Node
-from repro.core import (ABLATION_CONFIGS, ALL_MODELS, B_BATCHING,
-                        B_BROADCAST, COMBINED, COMBINED_BATCHING,
-                        COMBINED_BROADCAST, EC_EVENT, EC_SYNCH,
-                        EXTENSION_MODELS, LIN_EVENT, LIN_RENF, LIN_SCOPE,
-                        LIN_STRICT, LIN_SYNCH, MINOS_B, MINOS_O, Consistency,
-                        DDPModel, Persistency, ProtocolConfig, Timestamp,
-                        config_by_name, model_by_name)
-from repro.hw import DEFAULT_MACHINE, MachineParams
-from repro.metrics import Breakdown, Metrics, write_breakdown
-from repro.trace import TraceEvent, Tracer
-from repro.workloads import (MEDIA_LOGIN, SOCIAL_LOGIN, Op, OpKind,
-                             YcsbWorkload)
-from repro.workloads.trace import TraceWorkload, parse_trace
+from typing import List
 
 __version__ = "1.0.0"
 
-__all__ = [
-    "ABLATION_CONFIGS",
-    "ALL_MODELS",
-    "B_BATCHING",
-    "B_BROADCAST",
-    "Breakdown",
-    "COMBINED",
-    "COMBINED_BATCHING",
-    "COMBINED_BROADCAST",
-    "ClosedLoopClient",
-    "Consistency",
-    "CrashWindow",
-    "DDPModel",
-    "DEFAULT_MACHINE",
-    "ExperimentConfig",
-    "ExperimentResult",
-    "FaultPlan",
-    "EC_EVENT",
-    "EC_SYNCH",
-    "EXTENSION_MODELS",
-    "LIN_EVENT",
-    "LIN_RENF",
-    "LIN_SCOPE",
-    "LIN_STRICT",
-    "LIN_SYNCH",
-    "MEDIA_LOGIN",
-    "MINOS_B",
-    "MINOS_O",
-    "MachineParams",
-    "Metrics",
-    "MinosCluster",
-    "Node",
-    "Op",
-    "OpKind",
-    "OpResult",
-    "Persistency",
-    "ProtocolConfig",
-    "SOCIAL_LOGIN",
-    "Timestamp",
-    "TraceEvent",
-    "TraceWorkload",
-    "Tracer",
-    "YcsbWorkload",
-    "api",
-    "parse_trace",
-    "config_by_name",
-    "model_by_name",
-    "run_chaos",
-    "run_experiment",
-    "write_breakdown",
-    "__version__",
-]
+#: Lazy export table: public name -> defining module.  ``__getattr__``
+#: imports the module on first attribute access and caches the value in
+#: the package namespace, so each import cost is paid at most once.
+_EXPORTS = {
+    # stable facade (everything in repro.api.__all__, same objects)
+    "api": "repro.api",
+    "MinosCluster": "repro.cluster.cluster",
+    "ProtocolConfig": "repro.core.config",
+    "MINOS_B": "repro.core.config",
+    "MINOS_O": "repro.core.config",
+    "config_by_name": "repro.core.config",
+    "ABLATION_CONFIGS": "repro.core.config",
+    "B_BATCHING": "repro.core.config",
+    "B_BROADCAST": "repro.core.config",
+    "COMBINED": "repro.core.config",
+    "COMBINED_BATCHING": "repro.core.config",
+    "COMBINED_BROADCAST": "repro.core.config",
+    "DDPModel": "repro.core.model",
+    "ALL_MODELS": "repro.core.model",
+    "EXTENSION_MODELS": "repro.core.model",
+    "LIN_SYNCH": "repro.core.model",
+    "LIN_STRICT": "repro.core.model",
+    "LIN_RENF": "repro.core.model",
+    "LIN_EVENT": "repro.core.model",
+    "LIN_SCOPE": "repro.core.model",
+    "EC_SYNCH": "repro.core.model",
+    "EC_EVENT": "repro.core.model",
+    "model_by_name": "repro.core.model",
+    "Consistency": "repro.core.model",
+    "Persistency": "repro.core.model",
+    "Timestamp": "repro.core.timestamp",
+    "RecoveryManager": "repro.core.recovery",
+    "MachineParams": "repro.hw.params",
+    "DEFAULT_MACHINE": "repro.hw.params",
+    "us": "repro.hw.params",
+    "YcsbWorkload": "repro.workloads.ycsb",
+    "ExperimentConfig": "repro.bench.harness",
+    "ExperimentResult": "repro.bench.harness",
+    "run_experiment": "repro.bench.harness",
+    "run_microservice": "repro.bench.harness",
+    "FaultPlan": "repro.faults",
+    "CrashWindow": "repro.faults",
+    "run_chaos": "repro.faults",
+    "ModelChecker": "repro.verify",
+    "ProtocolSpec": "repro.verify",
+    "WriteDef": "repro.verify",
+    "OpResult": "repro.cluster.results",
+    "Metrics": "repro.metrics.stats",
+    # convenience re-exports beyond the facade
+    "ClosedLoopClient": "repro.cluster",
+    "Node": "repro.cluster",
+    "Breakdown": "repro.metrics",
+    "write_breakdown": "repro.metrics",
+    "TraceEvent": "repro.trace",
+    "Tracer": "repro.trace",
+    "MEDIA_LOGIN": "repro.workloads",
+    "SOCIAL_LOGIN": "repro.workloads",
+    "Op": "repro.workloads",
+    "OpKind": "repro.workloads",
+    "TraceWorkload": "repro.workloads.trace",
+    "parse_trace": "repro.workloads.trace",
+}
+
+__all__ = sorted(_EXPORTS) + ["__version__"]
+
+
+def __getattr__(name: str):
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module 'repro' has no attribute {name!r}") from None
+    import importlib
+
+    module = importlib.import_module(module_name)
+    value = module if name == "api" else getattr(module, name)
+    globals()[name] = value  # cache: next access skips __getattr__
+    return value
+
+
+def __dir__() -> List[str]:
+    return sorted(set(globals()) | set(__all__))

@@ -1,0 +1,44 @@
+"""Static analysis for the MINOS reproduction (``repro lint``).
+
+A pure-``ast`` lint framework plus repo-specific rules that check the
+protocol's metadata-access discipline (the static mirror of Table I),
+simulation determinism, ``__slots__`` integrity, fast-path/slow-path
+parity, and the stability of the :mod:`repro.api` facade.
+
+Deliberately imports **nothing** from the runtime packages
+(:mod:`repro.sim`, :mod:`repro.core`, …): the analyzer must run on a
+fresh checkout with just ``PYTHONPATH=src``, and must never create an
+import cycle with the code it analyzes.
+"""
+
+from repro.analysis.baseline import (BASELINE_NAME, BASELINE_SCHEMA,
+                                     Baseline, Suppression)
+from repro.analysis.core import (DEFAULT_SCAN, RULES, Project, Rule,
+                                 analyze_project, find_project_root,
+                                 load_project, load_project_from_sources,
+                                 parse_module, rule, run_analysis)
+from repro.analysis.report import (JSON_SCHEMA, AnalysisResult, Finding,
+                                   render_json, render_text)
+
+__all__ = [
+    "AnalysisResult",
+    "BASELINE_NAME",
+    "BASELINE_SCHEMA",
+    "Baseline",
+    "DEFAULT_SCAN",
+    "Finding",
+    "JSON_SCHEMA",
+    "Project",
+    "RULES",
+    "Rule",
+    "Suppression",
+    "analyze_project",
+    "find_project_root",
+    "load_project",
+    "load_project_from_sources",
+    "parse_module",
+    "render_json",
+    "render_text",
+    "rule",
+    "run_analysis",
+]

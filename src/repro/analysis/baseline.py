@@ -1,0 +1,109 @@
+"""The committed baseline-suppression file (``lint-baseline.json``).
+
+Grandfathered findings — violations that predate a rule and are accepted
+for now — live in a JSON file at the repo root.  A suppression matches on
+``(rule, path, symbol)`` and carries a free-text ``reason`` so the file
+documents *why* each exception exists.  ``repro lint --update-baseline``
+rewrites the file from the current findings; the load/save pair
+round-trips exactly (sorted entries, stable key order), so the committed
+file never churns.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple, Union
+
+from repro.analysis.report import Finding
+
+#: Default baseline filename, looked up at the project root.
+BASELINE_NAME = "lint-baseline.json"
+
+#: Schema identifier written into the file.
+BASELINE_SCHEMA = "repro-lint-baseline/1"
+
+
+@dataclass(frozen=True, slots=True)
+class Suppression:
+    """One grandfathered finding."""
+
+    rule: str
+    path: str
+    symbol: str
+    reason: str = ""
+
+    @property
+    def key(self) -> Tuple[str, str, str]:
+        return (self.rule, self.path, self.symbol)
+
+    def to_dict(self) -> Dict[str, str]:
+        entry = {"rule": self.rule, "path": self.path,
+                 "symbol": self.symbol}
+        if self.reason:
+            entry["reason"] = self.reason
+        return entry
+
+
+class Baseline:
+    """An in-memory suppression set with exact JSON round-tripping."""
+
+    def __init__(self, suppressions: Iterable[Suppression] = ()) -> None:
+        self._by_key: Dict[Tuple[str, str, str], Suppression] = {}
+        for suppression in suppressions:
+            self._by_key[suppression.key] = suppression
+
+    def __len__(self) -> int:
+        return len(self._by_key)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Baseline):
+            return NotImplemented
+        return self._by_key == other._by_key
+
+    @property
+    def entries(self) -> List[Suppression]:
+        return sorted(self._by_key.values(), key=lambda s: s.key)
+
+    def matches(self, finding: Finding) -> bool:
+        return finding.suppression_key in self._by_key
+
+    def partition(
+        self, findings: Iterable[Finding],
+    ) -> Tuple[List[Finding], List[Finding]]:
+        """Split *findings* into (live, suppressed)."""
+        live: List[Finding] = []
+        suppressed: List[Finding] = []
+        for finding in findings:
+            (suppressed if self.matches(finding) else live).append(finding)
+        return live, suppressed
+
+    # -- (de)serialization --------------------------------------------------
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding],
+                      reason: str = "grandfathered") -> "Baseline":
+        return cls(Suppression(rule=f.rule, path=f.path, symbol=f.symbol,
+                               reason=reason)
+                   for f in findings)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": BASELINE_SCHEMA,
+            "suppressions": [entry.to_dict() for entry in self.entries],
+        }
+
+    def save(self, path: Union[str, Path]) -> None:
+        text = json.dumps(self.to_dict(), indent=2) + "\n"
+        Path(path).write_text(text, encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Baseline":
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        entries = payload.get("suppressions", [])
+        return cls(
+            Suppression(rule=entry["rule"], path=entry["path"],
+                        symbol=entry["symbol"],
+                        reason=entry.get("reason", ""))
+            for entry in entries)

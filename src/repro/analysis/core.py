@@ -1,0 +1,468 @@
+"""The lint framework: project loading, rule registry, and the runner.
+
+Everything here is pure ``ast`` over source text — importing
+:mod:`repro.analysis` must never import the simulator (or any other
+runtime module), so the pass works on a fresh checkout with just
+``PYTHONPATH=src`` and cannot create import cycles with the code it
+checks.
+
+A :class:`Project` is the set of parsed source modules plus a
+project-wide class index (``__slots__`` declarations, base-class names,
+decorator classification) that rules share.  Rules are small classes
+registered with the :func:`rule` decorator; each receives the whole
+project and yields :class:`~repro.analysis.report.Finding` records.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (Dict, Iterator, List, Optional, Sequence, Tuple, Type,
+                    Union)
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.report import AnalysisResult, Finding
+
+#: Default scan roots, relative to the project root.
+DEFAULT_SCAN = ("src/repro", "examples")
+
+
+# ===========================================================================
+# Parsed sources
+# ===========================================================================
+
+@dataclass
+class ClassInfo:
+    """Project-wide facts about one class definition."""
+
+    name: str
+    module: str                      #: repo-relative posix path
+    node: ast.ClassDef
+    lineno: int
+    #: Declared ``__slots__`` names, or ``None`` when the class body has
+    #: no ``__slots__`` assignment.  ``@dataclass(slots=True)`` classes
+    #: report their annotated fields here.
+    slots: Optional[Tuple[str, ...]]
+    #: Base-class names as written (dotted names flattened to last part).
+    bases: Tuple[str, ...]
+    is_dataclass: bool
+    dataclass_slots: bool
+    is_enum: bool
+    is_exception: bool
+
+    @property
+    def slotted(self) -> bool:
+        return self.slots is not None or self.dataclass_slots
+
+
+@dataclass
+class ModuleSource:
+    """One parsed source file."""
+
+    rel: str                         #: repo-relative posix path
+    source: str
+    tree: ast.Module
+    #: Maps every function/class node in the tree to its dotted
+    #: qualified name (``Class.method`` / ``outer.<locals>.inner``).
+    qualnames: Dict[ast.AST, str] = field(default_factory=dict)
+    classes: List[ClassInfo] = field(default_factory=list)
+
+    @property
+    def package_rel(self) -> str:
+        """The path with a leading ``src/`` stripped, so rules can match
+        ``repro/sim/...`` regardless of the src-layout prefix."""
+        if self.rel.startswith("src/"):
+            return self.rel[len("src/"):]
+        return self.rel
+
+    def in_subsystem(self, *prefixes: str) -> bool:
+        return any(self.package_rel.startswith(prefix)
+                   for prefix in prefixes)
+
+
+_ENUM_BASES = {"Enum", "IntEnum", "StrEnum", "Flag", "IntFlag"}
+
+
+def _decorator_name(node: ast.expr) -> str:
+    """The trailing name of a decorator expression (``a.b.c`` -> ``c``)."""
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+def _base_name(node: ast.expr) -> str:
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Subscript):  # Generic[...] style bases
+        return _base_name(node.value)
+    return ""
+
+
+def _slots_from_body(node: ast.ClassDef) -> Optional[Tuple[str, ...]]:
+    """The literal ``__slots__`` declaration of a class body, if any."""
+    for stmt in node.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__slots__":
+                names: List[str] = []
+                if isinstance(value, (ast.Tuple, ast.List, ast.Set)):
+                    for element in value.elts:
+                        if (isinstance(element, ast.Constant)
+                                and isinstance(element.value, str)):
+                            names.append(element.value)
+                elif (isinstance(value, ast.Constant)
+                        and isinstance(value.value, str)):
+                    names.append(value.value)
+                return tuple(names)
+    return None
+
+
+def _dataclass_fields(node: ast.ClassDef) -> Tuple[str, ...]:
+    """Annotated field names of a dataclass body (its implicit slots)."""
+    names = []
+    for stmt in node.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target,
+                                                          ast.Name):
+            if stmt.target.id != "__slots__":
+                names.append(stmt.target.id)
+    return tuple(names)
+
+
+def _classify(node: ast.ClassDef, rel: str) -> ClassInfo:
+    is_dataclass = False
+    dataclass_slots = False
+    for decorator in node.decorator_list:
+        name = _decorator_name(decorator)
+        if name == "dataclass":
+            is_dataclass = True
+            if isinstance(decorator, ast.Call):
+                for keyword in decorator.keywords:
+                    if (keyword.arg == "slots"
+                            and isinstance(keyword.value, ast.Constant)
+                            and keyword.value.value is True):
+                        dataclass_slots = True
+    bases = tuple(filter(None, (_base_name(base) for base in node.bases)))
+    is_enum = any(base in _ENUM_BASES for base in bases)
+    is_exception = any(base.endswith(("Error", "Exception", "Warning"))
+                       for base in bases)
+    slots = _slots_from_body(node)
+    if slots is None and dataclass_slots:
+        slots = _dataclass_fields(node)
+    return ClassInfo(name=node.name, module=rel, node=node,
+                     lineno=node.lineno, slots=slots, bases=bases,
+                     is_dataclass=is_dataclass,
+                     dataclass_slots=dataclass_slots,
+                     is_enum=is_enum, is_exception=is_exception)
+
+
+def _build_qualnames(tree: ast.Module) -> Dict[ast.AST, str]:
+    """Dotted qualified names for every def/class in *tree*."""
+    qualnames: Dict[ast.AST, str] = {}
+
+    def visit(node: ast.AST, prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.ClassDef)):
+                name = f"{prefix}.{child.name}" if prefix else child.name
+                qualnames[child] = name
+                child_prefix = name
+                if isinstance(child, (ast.FunctionDef,
+                                      ast.AsyncFunctionDef)):
+                    child_prefix = f"{name}.<locals>"
+                visit(child, child_prefix)
+            else:
+                visit(child, prefix)
+
+    visit(tree, "")
+    return qualnames
+
+
+def parse_module(rel: str, source: str) -> ModuleSource:
+    tree = ast.parse(source, filename=rel)
+    module = ModuleSource(rel=rel, source=source, tree=tree)
+    module.qualnames = _build_qualnames(tree)
+    for node, qualname in module.qualnames.items():
+        if isinstance(node, ast.ClassDef) and "." not in qualname:
+            module.classes.append(_classify(node, rel))
+    return module
+
+
+def enclosing_symbol(module: ModuleSource, node: ast.AST) -> str:
+    """The qualified name of the scope containing *node* (by position)."""
+    best = "<module>"
+    best_span = None
+    node_line = getattr(node, "lineno", 0)
+    node_end = getattr(node, "end_lineno", node_line)
+    for scope, qualname in module.qualnames.items():
+        start = getattr(scope, "lineno", 0)
+        end = getattr(scope, "end_lineno", start)
+        if start <= node_line and node_end <= end:
+            span = end - start
+            if best_span is None or span <= best_span:
+                best, best_span = qualname, span
+    return best
+
+
+# ===========================================================================
+# Project
+# ===========================================================================
+
+class Project:
+    """All modules under analysis plus shared cross-file indexes."""
+
+    def __init__(self, root: Path, modules: Sequence[ModuleSource]) -> None:
+        self.root = root
+        self.modules: List[ModuleSource] = sorted(modules,
+                                                  key=lambda m: m.rel)
+        #: Files that failed to parse (filled by :func:`load_project`).
+        self.parse_errors: List[Finding] = []
+        #: Class name -> every definition of that name (names are unique
+        #: in this codebase; rules treat collisions conservatively).
+        self.classes_by_name: Dict[str, List[ClassInfo]] = {}
+        for module in self.modules:
+            for info in module.classes:
+                self.classes_by_name.setdefault(info.name, []).append(info)
+
+    def module(self, rel: str) -> Optional[ModuleSource]:
+        for module in self.modules:
+            if module.rel == rel or module.package_rel == rel:
+                return module
+        return None
+
+    def modules_under(self, *prefixes: str) -> Iterator[ModuleSource]:
+        for module in self.modules:
+            if module.in_subsystem(*prefixes):
+                yield module
+
+    def resolve_class(self, name: str) -> Optional[ClassInfo]:
+        candidates = self.classes_by_name.get(name)
+        if candidates and len(candidates) == 1:
+            return candidates[0]
+        return None
+
+    def known_mro_slots(self, info: ClassInfo) -> Optional[Tuple[str, ...]]:
+        """The union of declared slots along *info*'s resolvable base
+        chain, or ``None`` when instances still get a ``__dict__`` (a
+        base is un-slotted) or a base cannot be resolved (conservative:
+        the slot discipline cannot be proven, so don't enforce it)."""
+        names: List[str] = []
+        seen = set()
+        stack = [info]
+        while stack:
+            current = stack.pop()
+            if current.name in seen:
+                continue
+            seen.add(current.name)
+            if current.slots is None:
+                return None
+            names.extend(current.slots)
+            for base in current.bases:
+                if base in ("object", "Generic", "Protocol"):
+                    continue
+                resolved = self.resolve_class(base)
+                if resolved is None:
+                    return None
+                stack.append(resolved)
+        return tuple(names)
+
+
+def load_project_from_sources(sources: Dict[str, str],
+                              root: Union[str, Path] = ".") -> Project:
+    """Build a project from in-memory ``{relpath: source}`` (tests)."""
+    modules = [parse_module(rel, text) for rel, text in sources.items()]
+    return Project(Path(root), modules)
+
+
+def _iter_python_files(base: Path) -> Iterator[Path]:
+    if base.is_file() and base.suffix == ".py":
+        yield base
+        return
+    if base.is_dir():
+        yield from sorted(base.rglob("*.py"))
+
+
+def load_project(root: Union[str, Path],
+                 paths: Optional[Sequence[Union[str, Path]]] = None,
+                 ) -> Project:
+    """Parse the project at *root*.
+
+    Without explicit *paths*, scans the default roots (``src/repro`` and
+    ``examples``).  Files that fail to parse are skipped with a
+    synthetic ``parse-error`` finding at analysis time (tracked on the
+    project); the rest of the pass continues.
+    """
+    root = Path(root).resolve()
+    targets: List[Path] = []
+    if paths:
+        for path in paths:
+            candidate = Path(path)
+            if not candidate.is_absolute():
+                candidate = root / candidate
+            targets.append(candidate)
+    else:
+        targets = [root / entry for entry in DEFAULT_SCAN]
+    modules: List[ModuleSource] = []
+    errors: List[Finding] = []
+    seen = set()
+    for target in targets:
+        for file_path in _iter_python_files(target):
+            if file_path in seen:
+                continue
+            seen.add(file_path)
+            try:
+                rel = file_path.resolve().relative_to(root).as_posix()
+            except ValueError:
+                rel = file_path.as_posix()
+            text = file_path.read_text(encoding="utf-8")
+            try:
+                modules.append(parse_module(rel, text))
+            except SyntaxError as exc:
+                errors.append(Finding(
+                    rule="parse-error", path=rel, line=exc.lineno or 1,
+                    symbol="<module>",
+                    message=f"file does not parse: {exc.msg}"))
+    project = Project(root, modules)
+    project.parse_errors = errors
+    return project
+
+
+def find_project_root(start: Union[str, Path, None] = None) -> Path:
+    """Locate the repo root: the nearest ancestor with a
+    ``pyproject.toml`` next to a ``src/repro`` tree, falling back to the
+    grandparent of the installed ``repro`` package (the src-layout
+    root), then to *start* itself."""
+    candidates: List[Path] = []
+    if start is not None:
+        candidates.append(Path(start).resolve())
+    candidates.append(Path.cwd().resolve())
+    package_root = Path(__file__).resolve().parents[2]  # .../src
+    candidates.append(package_root.parent)
+    for candidate in candidates:
+        for ancestor in (candidate, *candidate.parents):
+            if ((ancestor / "pyproject.toml").is_file()
+                    and (ancestor / "src" / "repro").is_dir()):
+                return ancestor
+    return candidates[0]
+
+
+# ===========================================================================
+# Rule registry
+# ===========================================================================
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set ``id`` (the rule identifier findings carry) and
+    implement :meth:`check`.  ``TABLE_KEY``-producing rules may also
+    implement :meth:`tables` to contribute machine-readable side output.
+    """
+
+    id: str = ""
+    title: str = ""
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def tables(self, project: Project) -> Dict[str, object]:
+        return {}
+
+
+#: Registered rule classes, in registration order.
+RULES: Dict[str, Type[Rule]] = {}
+
+
+def rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: register a rule under its ``id``."""
+    if not cls.id:
+        raise ValueError(f"rule {cls.__name__} has no id")
+    if cls.id in RULES:
+        raise ValueError(f"duplicate rule id {cls.id!r}")
+    RULES[cls.id] = cls
+    return cls
+
+
+def _load_rules() -> None:
+    """Import the rule modules (side effect: registration)."""
+    from repro.analysis import rules as _rules  # noqa: F401
+
+
+# ===========================================================================
+# Runner
+# ===========================================================================
+
+def analyze_project(project: Project,
+                    baseline: Optional[Baseline] = None,
+                    only: Optional[Sequence[str]] = None,
+                    ) -> AnalysisResult:
+    """Run every registered rule over *project*."""
+    _load_rules()
+    findings: List[Finding] = list(project.parse_errors)
+    tables: Dict[str, object] = {}
+    for rule_id, rule_cls in RULES.items():
+        if only is not None and rule_id not in only:
+            continue
+        instance = rule_cls()
+        findings.extend(instance.check(project))
+        tables.update(instance.tables(project))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+    if baseline is not None:
+        live, suppressed = baseline.partition(findings)
+    else:
+        live, suppressed = findings, []
+    return AnalysisResult(findings=live, suppressed=suppressed,
+                          tables=tables,
+                          files_checked=len(project.modules))
+
+
+def run_analysis(root: Union[str, Path, None] = None,
+                 paths: Optional[Sequence[Union[str, Path]]] = None,
+                 baseline: Optional[Union[str, Path, Baseline]] = None,
+                 only: Optional[Sequence[str]] = None) -> AnalysisResult:
+    """Load the project at *root* (auto-discovered when ``None``) and
+    run the full pass.  *baseline* may be a path or a loaded
+    :class:`Baseline`."""
+    resolved_root = find_project_root(root)
+    project = load_project(resolved_root, paths=paths)
+    loaded: Optional[Baseline] = None
+    if isinstance(baseline, Baseline):
+        loaded = baseline
+    elif baseline is not None:
+        loaded = Baseline.load(baseline)
+    return analyze_project(project, baseline=loaded, only=only)
+
+
+# -- shared AST helpers used by several rules -------------------------------
+
+def dotted_name(node: ast.expr) -> str:
+    """Render ``a.b.c`` attribute chains; empty string when not a plain
+    name chain."""
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def walk_functions(
+    module: ModuleSource,
+) -> Iterator[Tuple[str, Union[ast.FunctionDef, ast.AsyncFunctionDef]]]:
+    """Yield ``(qualname, node)`` for every function in *module*."""
+    for node, qualname in module.qualnames.items():
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield qualname, node

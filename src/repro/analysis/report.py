@@ -1,0 +1,126 @@
+"""Finding records and reporters for the static-analysis pass.
+
+A :class:`Finding` is one rule violation anchored to a file, line, and
+*symbol* (the enclosing qualified name — ``Class.method`` or a
+module-level name).  Suppression matching is deliberately line-free:
+``(rule, path, symbol)`` survives unrelated edits to the file, so the
+committed baseline does not rot every time a line number moves.
+
+Reporters are pure functions over an :class:`AnalysisResult`:
+:func:`render_text` for humans, :func:`render_json` for CI and tooling
+(schema ``repro-lint/1``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+#: JSON schema identifier emitted by ``repro lint --json``.
+JSON_SCHEMA = "repro-lint/1"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation.
+
+    Attributes
+    ----------
+    rule:
+        The rule identifier (e.g. ``meta-direct-write``).
+    path:
+        Repo-root-relative posix path of the offending file.
+    line:
+        1-based line of the offending node.
+    symbol:
+        Qualified name of the enclosing scope (``Class.method``,
+        ``function``, or ``<module>``); the stable suppression anchor.
+    message:
+        Human-readable description of the violation.
+    severity:
+        ``"error"`` (gates) or ``"warning"`` (reported, never gates).
+    """
+
+    rule: str
+    path: str
+    line: int
+    symbol: str
+    message: str
+    severity: str = "error"
+
+    @property
+    def suppression_key(self) -> Tuple[str, str, str]:
+        return (self.rule, self.path, self.symbol)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "symbol": self.symbol,
+            "message": self.message,
+            "severity": self.severity,
+        }
+
+    def __str__(self) -> str:
+        return (f"{self.path}:{self.line}: {self.severity}[{self.rule}] "
+                f"{self.symbol}: {self.message}")
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one ``repro lint`` invocation produced.
+
+    ``findings`` are the live (unsuppressed) violations; ``suppressed``
+    are findings matched by the baseline file; ``tables`` carries the
+    machine-readable side outputs (the per-handler metadata access
+    tables of the protocol rule).
+    """
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    tables: Dict[str, Any] = field(default_factory=dict)
+    files_checked: int = 0
+
+    @property
+    def gating(self) -> List[Finding]:
+        """Findings that make ``repro lint`` exit non-zero."""
+        return [f for f in self.findings if f.severity == "error"]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": JSON_SCHEMA,
+            "files_checked": self.files_checked,
+            "findings": [f.to_dict() for f in self.findings],
+            "suppressed": [f.to_dict() for f in self.suppressed],
+            "metadata_access": self.tables.get("metadata_access", {}),
+            "tables": {k: v for k, v in self.tables.items()
+                       if k != "metadata_access"},
+        }
+
+
+def render_text(result: AnalysisResult, verbose: bool = False) -> str:
+    """The human-facing report: one line per finding plus a summary."""
+    lines: List[str] = []
+    for finding in sorted(result.findings,
+                          key=lambda f: (f.path, f.line, f.rule)):
+        lines.append(str(finding))
+    if verbose and result.suppressed:
+        lines.append("")
+        lines.append(f"# {len(result.suppressed)} baseline-suppressed:")
+        for finding in sorted(result.suppressed,
+                              key=lambda f: (f.path, f.line, f.rule)):
+            lines.append(f"  (suppressed) {finding}")
+    gating = len(result.gating)
+    summary = (f"{result.files_checked} files checked: "
+               f"{gating} finding{'s' if gating != 1 else ''}")
+    if result.suppressed:
+        summary += f" ({len(result.suppressed)} baseline-suppressed)"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: AnalysisResult,
+                indent: Optional[int] = 2) -> str:
+    return json.dumps(result.to_dict(), indent=indent, sort_keys=False)

@@ -1,0 +1,122 @@
+"""API discipline.
+
+The :mod:`repro.api` facade is the stable surface (PR 2); everything
+else may move.  Two invariants keep it honest:
+
+* **api-all-drift** — every name in ``repro/api.py``'s ``__all__`` is
+  actually bound at module top level, and every public top-level
+  binding (imports included) is listed in ``__all__``.  Either drift
+  means the facade exports something broken or quietly grows unstable
+  surface.
+* **api-import-discipline** — scripts under ``examples/`` import repro
+  code only through ``repro.api``.  An example that reaches into
+  ``repro.core.…`` or ``repro.hw.…`` is documentation teaching users to
+  depend on internal layout; if an example needs a name, the facade
+  grows it instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set
+
+from repro.analysis.core import ModuleSource, Project, Rule, rule
+from repro.analysis.report import Finding
+
+#: The facade module (package-relative path).
+API_MODULE = "repro/api.py"
+
+#: The only repro module examples may import from.
+ALLOWED_EXAMPLE_IMPORT = "repro.api"
+
+
+def _module_all(tree: ast.Module) -> List[ast.Constant]:
+    """The string constants of the top-level ``__all__`` list."""
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and target.id == "__all__":
+                    if isinstance(stmt.value, (ast.List, ast.Tuple)):
+                        return [element for element in stmt.value.elts
+                                if isinstance(element, ast.Constant)
+                                and isinstance(element.value, str)]
+    return []
+
+
+def _top_level_bindings(tree: ast.Module) -> Set[str]:
+    names: Set[str] = set()
+    for stmt in tree.body:
+        if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+            for alias in stmt.names:
+                if alias.name == "*":
+                    continue
+                names.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.ClassDef)):
+            names.add(stmt.name)
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target,
+                                                            ast.Name):
+            names.add(stmt.target.id)
+    return names
+
+
+def _check_facade(module: ModuleSource) -> Iterator[Finding]:
+    exported = _module_all(module.tree)
+    exported_names = {element.value for element in exported}
+    bound = _top_level_bindings(module.tree)
+    for element in exported:
+        if element.value not in bound:
+            yield Finding(
+                rule="api-all-drift", path=module.rel,
+                line=element.lineno, symbol="__all__",
+                message=f"__all__ exports {element.value!r} but the "
+                        f"module never binds it (broken facade export)")
+    for name in sorted(bound):
+        if name.startswith("_") or name in ("annotations", "__all__"):
+            continue
+        if name not in exported_names:
+            yield Finding(
+                rule="api-all-drift", path=module.rel, line=1,
+                symbol="__all__",
+                message=f"top-level name {name!r} is bound in the "
+                        f"facade but missing from __all__ (unstated "
+                        f"public surface)")
+
+
+def _check_example(module: ModuleSource) -> Iterator[Finding]:
+    for node in ast.walk(module.tree):
+        offending = ""
+        line = 0
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                root = alias.name.split(".")[0]
+                if root == "repro" and alias.name != ALLOWED_EXAMPLE_IMPORT:
+                    offending, line = alias.name, node.lineno
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            root = node.module.split(".")[0]
+            if root == "repro" and node.module != ALLOWED_EXAMPLE_IMPORT:
+                offending, line = node.module, node.lineno
+        if offending:
+            yield Finding(
+                rule="api-import-discipline", path=module.rel, line=line,
+                symbol="<module>",
+                message=f"example imports from {offending}; examples "
+                        f"must import only from {ALLOWED_EXAMPLE_IMPORT} "
+                        f"(grow the facade if a name is missing)")
+
+
+@rule
+class ApiDisciplineRule(Rule):
+    id = "api"
+    title = "facade __all__ integrity and example import discipline"
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for module in project.modules:
+            if module.package_rel == API_MODULE:
+                yield from _check_facade(module)
+            elif module.rel.startswith("examples/"):
+                yield from _check_example(module)

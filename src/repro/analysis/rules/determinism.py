@@ -1,0 +1,199 @@
+"""Determinism rules for the simulation subsystems.
+
+The event calendar must be a pure function of the experiment
+configuration and seed (DESIGN.md §5.4; the calendar-identity tests in
+``tests/sim/`` depend on it, and so does every fault-injection repro).
+Inside ``repro/sim``, ``repro/core``, ``repro/hw`` and ``repro/faults``
+we therefore forbid:
+
+* **wall-clock reads** — ``time.time()``, ``time.monotonic()``,
+  ``time.perf_counter()``, ``datetime.now()`` and friends: simulated
+  time comes only from the kernel.
+* **the module-level random API** — ``random.random()``,
+  ``random.choice()``, ...: these draw from the shared global RNG whose
+  state depends on import order and other callers.  Seeded private
+  ``random.Random(seed)`` instances are the sanctioned alternative
+  (see :mod:`repro.faults.injector`).
+* **unordered-set iteration** — ``for x in {…}`` / ``for x in set(…)``:
+  set iteration order depends on ``PYTHONHASHSEED``, so anything it
+  feeds (message fan-out, retransmit targets) lands on the calendar in
+  a run-dependent order.  Iterate ``sorted(…)`` instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set, Union
+
+from repro.analysis.core import (ModuleSource, Project, Rule, dotted_name,
+                                 enclosing_symbol, rule)
+from repro.analysis.report import Finding
+
+#: Subsystems whose event ordering feeds the calendar.
+DETERMINISTIC_SUBSYSTEMS = ("repro/sim", "repro/core", "repro/hw",
+                            "repro/faults")
+
+#: Wall-clock call chains (after import-alias resolution).
+CLOCK_CALLS = {
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+    "datetime.now", "datetime.utcnow", "datetime.today", "date.today",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+}
+
+#: ``random.<fn>`` module-level functions that hit the global RNG.
+#: ``random.Random`` / ``random.SystemRandom`` construct private
+#: generators and are allowed.
+GLOBAL_RANDOM_ALLOWED = {"Random", "SystemRandom"}
+
+
+class _FunctionScanner(ast.NodeVisitor):
+    """Scan one module for nondeterministic constructs."""
+
+    def __init__(self, module: ModuleSource,
+                 import_aliases: Dict[str, str]) -> None:
+        self.module = module
+        self.aliases = import_aliases
+        self.findings: List[Finding] = []
+        #: Local names currently known to be bound to a set value, per
+        #: function scope (a stack).
+        self._set_locals: List[Set[str]] = []
+
+    # -- helpers ------------------------------------------------------------
+
+    def _emit(self, rule_id: str, node: ast.AST, message: str) -> None:
+        self.findings.append(Finding(
+            rule=rule_id, path=self.module.rel, line=node.lineno,
+            symbol=enclosing_symbol(self.module, node), message=message))
+
+    def _canonical(self, node: ast.expr) -> str:
+        """Resolve a call target through the module's import aliases."""
+        dotted = dotted_name(node)
+        if not dotted:
+            return ""
+        head, _, rest = dotted.partition(".")
+        head = self.aliases.get(head, head)
+        return f"{head}.{rest}" if rest else head
+
+    def _is_set_expr(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            if node.func.id in ("set", "frozenset"):
+                return True
+        if isinstance(node, ast.Name) and self._set_locals:
+            return node.id in self._set_locals[-1]
+        if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)):
+            # set algebra: a | b, a - b ... is a set if either side is
+            return (self._is_set_expr(node.left)
+                    or self._is_set_expr(node.right))
+        return False
+
+    # -- clock + random -----------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        canonical = self._canonical(node.func)
+        if canonical in CLOCK_CALLS:
+            self._emit(
+                "no-wallclock", node,
+                f"wall-clock call {canonical}() in a deterministic "
+                f"subsystem; simulated time must come from Simulator.now")
+        elif canonical.startswith("random."):
+            attr = canonical.split(".", 1)[1]
+            if "." not in attr and attr not in GLOBAL_RANDOM_ALLOWED:
+                self._emit(
+                    "no-global-random", node,
+                    f"module-level random.{attr}() draws from the shared "
+                    f"global RNG; use a seeded private random.Random "
+                    f"instance instead")
+        self.generic_visit(node)
+
+    # -- set iteration ------------------------------------------------------
+
+    def _check_iter(self, iter_node: ast.expr, context: str) -> None:
+        if self._is_set_expr(iter_node):
+            rendered = dotted_name(iter_node) or "a set expression"
+            self._emit(
+                "no-set-iteration", iter_node,
+                f"iteration over {rendered} in a {context} has "
+                f"hash-seed-dependent order; wrap it in sorted(...)")
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iter(node.iter, "for loop")
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node: Union[ast.ListComp, ast.SetComp,
+                                               ast.GeneratorExp,
+                                               ast.DictComp]) -> None:
+        for generator in node.generators:
+            self._check_iter(generator.iter, "comprehension")
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+
+    # -- local set tracking -------------------------------------------------
+
+    def _visit_function(self, node: Union[ast.FunctionDef,
+                                          ast.AsyncFunctionDef]) -> None:
+        # Pre-pass: record local names assigned set-valued expressions
+        # anywhere in this function (order-insensitive; a name that is
+        # *ever* a plain set is suspect when iterated bare).
+        local_sets: Set[str] = set()
+        nonsets: Set[str] = set()
+        for child in ast.walk(node):
+            if isinstance(child, ast.Assign) and len(child.targets) == 1:
+                target = child.targets[0]
+                if isinstance(target, ast.Name):
+                    if isinstance(child.value, (ast.Set, ast.SetComp)):
+                        local_sets.add(target.id)
+                    elif (isinstance(child.value, ast.Call)
+                            and isinstance(child.value.func, ast.Name)
+                            and child.value.func.id in ("set", "frozenset")):
+                        local_sets.add(target.id)
+                    else:
+                        nonsets.add(target.id)
+        self._set_locals.append(local_sets - nonsets)
+        self.generic_visit(node)
+        self._set_locals.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+
+def _import_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Map local names to the canonical module/attribute they refer to
+    (``import time as t`` -> ``{"t": "time"}``; ``from random import
+    choice`` -> ``{"choice": "random.choice"}`` — represented by mapping
+    the bare name so call-site resolution sees the module)."""
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for name in node.names:
+                local = name.asname or name.name.split(".")[0]
+                aliases[local] = name.name
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            for name in node.names:
+                local = name.asname or name.name
+                aliases[local] = f"{node.module}.{name.name}"
+    return aliases
+
+
+@rule
+class DeterminismRule(Rule):
+    id = "determinism"
+    title = "no wall-clock, global RNG, or unordered-set iteration"
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        # Bare calls of from-imported banned names (``from time import
+        # time``) are covered too: ``_canonical`` resolves them through
+        # the alias table before the CLOCK_CALLS/random checks.
+        for module in project.modules_under(*DETERMINISTIC_SUBSYSTEMS):
+            aliases = _import_aliases(module.tree)
+            scanner = _FunctionScanner(module, aliases)
+            scanner.visit(module.tree)
+            yield from scanner.findings

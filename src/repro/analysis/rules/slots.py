@@ -1,0 +1,140 @@
+"""Slots-integrity rules.
+
+PR 2 put ``__slots__`` on every hot-path class (events, timeouts,
+processes, packets, messages, metadata, transactions); two mistakes can
+silently undo that work:
+
+* **slots-undeclared** — ``self.x = …`` in a class whose whole known
+  MRO is slotted, where ``x`` names no declared slot.  At runtime this
+  raises ``AttributeError`` the first time the statement executes, which
+  for rarely-taken paths (fault handling, recovery) means a latent
+  crash.  Flagged statically instead.
+* **slots-required** — a class added under ``repro/sim`` or
+  ``repro/core`` without ``__slots__`` (and without an exempting shape:
+  enum, exception, dataclass with ``slots=True``, or a subclass of an
+  un-slotted base where slots buy nothing).  Grandfathered pre-existing
+  classes live in the committed baseline file; new code must declare.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple, Union
+
+from repro.analysis.core import (ClassInfo, ModuleSource, Project, Rule,
+                                 rule)
+from repro.analysis.report import Finding
+
+#: Where the slots-required discipline applies (hot-path subsystems).
+SLOTS_SUBSYSTEMS = ("repro/sim", "repro/core")
+
+
+def _self_name(node: Union[ast.FunctionDef, ast.AsyncFunctionDef],
+               ) -> Optional[str]:
+    args = node.args.posonlyargs + node.args.args
+    if not args:
+        return None
+    for decorator in node.decorator_list:
+        name = decorator.id if isinstance(decorator, ast.Name) else ""
+        if name in ("staticmethod", "classmethod"):
+            return None
+    return args[0].arg
+
+
+def _assigned_attrs(node: Union[ast.FunctionDef, ast.AsyncFunctionDef],
+                    self_name: str) -> Iterator[Tuple[str, int]]:
+    """``(attr, line)`` for every ``self.attr = …`` / ``self.attr += …``
+    in *node* (nested functions included; they capture the same self)."""
+    for child in ast.walk(node):
+        targets: List[ast.expr] = []
+        if isinstance(child, ast.Assign):
+            targets = child.targets
+        elif isinstance(child, (ast.AnnAssign, ast.AugAssign)):
+            targets = [child.target]
+        for target in targets:
+            if (isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == self_name):
+                yield target.attr, target.lineno
+            elif isinstance(target, ast.Tuple):
+                for element in target.elts:
+                    if (isinstance(element, ast.Attribute)
+                            and isinstance(element.value, ast.Name)
+                            and element.value.id == self_name):
+                        yield element.attr, element.lineno
+
+
+def _class_methods(
+    info: ClassInfo,
+) -> Iterator[Union[ast.FunctionDef, ast.AsyncFunctionDef]]:
+    for stmt in info.node.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield stmt
+
+
+def _check_undeclared(project: Project, module: ModuleSource,
+                      info: ClassInfo) -> Iterator[Finding]:
+    mro_slots = project.known_mro_slots(info)
+    if mro_slots is None:
+        return  # a base is un-slotted or unresolvable: __dict__ exists
+    declared: Set[str] = set(mro_slots)
+    for method in _class_methods(info):
+        self_name = _self_name(method)
+        if self_name is None:
+            continue
+        for attr, line in _assigned_attrs(method, self_name):
+            if attr not in declared:
+                yield Finding(
+                    rule="slots-undeclared", path=module.rel, line=line,
+                    symbol=f"{info.name}.{method.name}",
+                    message=f"assignment to {self_name}.{attr} but "
+                            f"{info.name} declares __slots__ without "
+                            f"{attr!r} (AttributeError at runtime)")
+
+
+def _slots_exempt(project: Project, info: ClassInfo) -> bool:
+    """Classes the slots-required rule does not apply to."""
+    if info.is_enum or info.is_exception:
+        return True
+    if any(base in ("Protocol", "ABC", "NamedTuple", "TypedDict")
+           for base in info.bases):
+        return True
+    for base in info.bases:
+        if base == "object":
+            continue
+        resolved = project.resolve_class(base)
+        if resolved is None:
+            # Unresolvable base (stdlib/other project): cannot prove the
+            # hierarchy is slotted, and slots on a __dict__-ful base are
+            # dead weight — skip.
+            return True
+        if not resolved.slotted and not _slots_exempt(project, resolved):
+            # The base itself is a (grandfathered) un-slotted class:
+            # slots on this subclass would not remove the __dict__.
+            return True
+    return False
+
+
+@rule
+class SlotsRule(Rule):
+    id = "slots"
+    title = "__slots__ integrity and hot-path coverage"
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        # slots-undeclared: anywhere in the project.
+        for module in project.modules:
+            for info in module.classes:
+                if info.slotted:
+                    yield from _check_undeclared(project, module, info)
+        # slots-required: hot-path subsystems only.
+        for module in project.modules_under(*SLOTS_SUBSYSTEMS):
+            for info in module.classes:
+                if info.slotted or _slots_exempt(project, info):
+                    continue
+                yield Finding(
+                    rule="slots-required", path=module.rel,
+                    line=info.lineno, symbol=info.name,
+                    message=f"hot-path class {info.name} under "
+                            f"{'/'.join(module.package_rel.split('/')[:2])}"
+                            f" declares no __slots__ (instances pay a "
+                            f"__dict__ on every allocation)")

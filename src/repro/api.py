@@ -19,7 +19,13 @@ The surface, by theme:
   returning :class:`OpResult`.
 * **Faults** — :class:`FaultPlan`, :class:`CrashWindow` and
   :func:`run_chaos` for seeded loss/duplication/delay plus
-  crash/restart runs with invariant checking.
+  crash/restart runs with invariant checking, and
+  :class:`RecoveryManager` for heartbeat-driven failure recovery.
+* **Verification** — :class:`ModelChecker` over a :class:`ProtocolSpec`
+  of concurrent :class:`WriteDef` s (the Table I invariants).
+* **Microservices** — :data:`MEDIA_LOGIN` / :data:`SOCIAL_LOGIN`
+  workflows with :func:`run_microservice` (Fig. 14), and :func:`us`
+  for microsecond literals.
 * **Results** — :class:`OpResult`, :class:`ExperimentResult`,
   :class:`Metrics`, :class:`Timestamp`.
 """
@@ -27,7 +33,7 @@ The surface, by theme:
 from __future__ import annotations
 
 from repro.bench.harness import (ExperimentConfig, ExperimentResult,
-                                 run_experiment)
+                                 run_experiment, run_microservice)
 from repro.cluster.cluster import MinosCluster
 from repro.cluster.results import OpResult
 from repro.core.config import (MINOS_B, MINOS_O, ProtocolConfig,
@@ -35,10 +41,13 @@ from repro.core.config import (MINOS_B, MINOS_O, ProtocolConfig,
 from repro.core.model import (ALL_MODELS, EC_EVENT, EC_SYNCH, LIN_EVENT,
                               LIN_RENF, LIN_SCOPE, LIN_STRICT, LIN_SYNCH,
                               DDPModel, model_by_name)
+from repro.core.recovery import RecoveryManager
 from repro.core.timestamp import Timestamp
 from repro.faults import CrashWindow, FaultPlan, run_chaos
-from repro.hw.params import DEFAULT_MACHINE, MachineParams
+from repro.hw.params import DEFAULT_MACHINE, MachineParams, us
 from repro.metrics.stats import Metrics
+from repro.verify import ModelChecker, ProtocolSpec, WriteDef
+from repro.workloads import MEDIA_LOGIN, SOCIAL_LOGIN
 from repro.workloads.ycsb import YcsbWorkload
 
 __all__ = [
@@ -62,15 +71,24 @@ __all__ = [
     # hardware point
     "MachineParams",
     "DEFAULT_MACHINE",
+    "us",
     # workloads + experiments
     "YcsbWorkload",
+    "MEDIA_LOGIN",
+    "SOCIAL_LOGIN",
     "ExperimentConfig",
     "ExperimentResult",
     "run_experiment",
-    # faults
+    "run_microservice",
+    # faults + recovery
     "FaultPlan",
     "CrashWindow",
     "run_chaos",
+    "RecoveryManager",
+    # verification
+    "ModelChecker",
+    "ProtocolSpec",
+    "WriteDef",
     # results
     "OpResult",
     "Metrics",

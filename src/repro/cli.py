@@ -17,12 +17,19 @@ Commands:
   messages/sec, macro YCSB wall-clock); writes ``BENCH_*.json`` and
   optionally gates against a recorded baseline (the CI perf-smoke job).
 * ``report``     — assemble benchmarks/results/*.txt into one report.
+* ``lint``       — run the repo's static analyzer (protocol metadata
+  discipline, determinism, ``__slots__`` integrity, fast-path parity,
+  API discipline); exits non-zero on unsuppressed findings.
 * ``models`` / ``configs`` — list the available DDP models and
   architecture presets.
 
 ``experiment``, ``chaos`` and ``sweep`` share one set of workload flags
 and build their :class:`ExperimentConfig` through
 :func:`_experiment_config`, so a flag added there reaches all three.
+
+Subsystem imports live inside the command functions, not at module
+level: ``python -m repro lint`` (and ``--help``) must work on a fresh
+checkout without dragging in the simulator stack.
 """
 
 from __future__ import annotations
@@ -31,23 +38,10 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.bench import figures
-from repro.bench.harness import (ExperimentConfig, format_table,
-                                 run_experiment)
-from repro.core.config import ABLATION_CONFIGS, config_by_name
-from repro.core.model import ALL_MODELS, model_by_name
-from repro.hw.params import DEFAULT_MACHINE
-
-FIGURES = {
-    "fig4": lambda scale: figures.fig4(scale),
-    "fig9": lambda scale: figures.fig9(scale)["writes"],
-    "fig10": lambda scale: figures.fig10(scale)["writes"],
-    "fig11": lambda scale: figures.fig11(scale),
-    "fig12": lambda scale: figures.fig12(scale),
-    "fig13": lambda scale: figures.fig13(scale),
-    "fig14": lambda scale: figures.fig14(scale),
-    "tab1": lambda _scale: figures.tab1(),
-}
+#: Paper artifacts ``figure`` can regenerate (dispatch is lazy — see
+#: :func:`_cmd_figure`).
+FIGURE_NAMES = ("fig4", "fig9", "fig10", "fig11", "fig12", "fig13",
+                "fig14", "tab1")
 
 
 def _add_experiment_args(parser: argparse.ArgumentParser, *,
@@ -74,8 +68,12 @@ def _add_experiment_args(parser: argparse.ArgumentParser, *,
                         help="emit the results as JSON")
 
 
-def _experiment_config(args) -> ExperimentConfig:
+def _experiment_config(args: argparse.Namespace):
     """The one place CLI flags become an :class:`ExperimentConfig`."""
+    from repro.bench.harness import ExperimentConfig
+    from repro.core.config import config_by_name
+    from repro.core.model import model_by_name
+
     return ExperimentConfig(
         model=model_by_name(args.model),
         config=config_by_name(args.arch),
@@ -101,7 +99,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_experiment_args(experiment)
 
     figure = sub.add_parser("figure", help="regenerate a paper artifact")
-    figure.add_argument("name", choices=sorted(FIGURES))
+    figure.add_argument("name", choices=sorted(FIGURE_NAMES))
     figure.add_argument("--scale", default="smoke",
                         choices=("smoke", "default", "full"))
 
@@ -169,12 +167,38 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument("--output", default=None,
                         help="write the report here instead of stdout")
 
+    lint = sub.add_parser(
+        "lint", help="run the repo static analyzer (protocol metadata "
+        "discipline, determinism, __slots__, fast-path parity, API "
+        "discipline)")
+    lint.add_argument("paths", nargs="*",
+                      help="files or directories to check (default: "
+                      "src/repro and examples)")
+    lint.add_argument("--json", action="store_true",
+                      help="emit the repro-lint/1 JSON payload (findings "
+                      "plus the per-handler metadata access tables)")
+    lint.add_argument("--rule", action="append", dest="rules",
+                      metavar="RULE_ID",
+                      help="run only this rule (repeatable)")
+    lint.add_argument("--baseline", default=None, metavar="FILE",
+                      help="suppression file (default: lint-baseline.json "
+                      "at the repo root, when present)")
+    lint.add_argument("--no-baseline", action="store_true",
+                      help="ignore the baseline file (report everything)")
+    lint.add_argument("--update-baseline", action="store_true",
+                      help="rewrite the baseline file from the current "
+                      "findings and exit 0")
+    lint.add_argument("--verbose", action="store_true",
+                      help="also list baseline-suppressed findings")
+
     sub.add_parser("models", help="list DDP models")
     sub.add_parser("configs", help="list architecture presets")
     return parser
 
 
-def _cmd_experiment(args) -> int:
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.bench.harness import run_experiment
+
     config = _experiment_config(args)
     result = run_experiment(config)
     if args.json:
@@ -196,14 +220,20 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
-def _cmd_figure(args) -> int:
-    rows = FIGURES[args.name](args.scale)
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from repro.bench import figures
+    from repro.bench.harness import format_table
+
+    rows = getattr(figures, args.name)() if args.name == "tab1" \
+        else getattr(figures, args.name)(args.scale)
+    if args.name in ("fig9", "fig10"):
+        rows = rows["writes"]
     print(f"=== {args.name} (scale={args.scale}) ===")
     print(format_table(rows))
     return 0
 
 
-def _cmd_chaos(args) -> int:
+def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.cluster.cluster import MinosCluster
     from repro.faults import CrashWindow, FaultPlan, run_chaos
     from repro.hw.params import us
@@ -260,7 +290,9 @@ def _cmd_chaos(args) -> int:
     return 0 if result.ok else 1
 
 
-def _cmd_verify(args) -> int:
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.core.config import config_by_name
+    from repro.core.model import model_by_name
     from repro.verify import ModelChecker, ProtocolSpec, WriteDef
 
     offload = config_by_name(args.arch).offload
@@ -277,8 +309,11 @@ def _cmd_verify(args) -> int:
     return 0 if result.ok else 1
 
 
-def _cmd_trace(args) -> int:
+def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.cluster.cluster import MinosCluster
+    from repro.core.config import config_by_name
+    from repro.core.model import model_by_name
+    from repro.hw.params import DEFAULT_MACHINE
 
     cluster = MinosCluster(model=model_by_name(args.model),
                            config=config_by_name(args.arch),
@@ -293,7 +328,8 @@ def _cmd_trace(args) -> int:
     return 0
 
 
-def _cmd_sweep(args) -> int:
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.bench.harness import format_table
     from repro.bench.sweep import Sweep, parse_axis
 
     base = _experiment_config(args)
@@ -308,7 +344,7 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
-def _cmd_bench(args) -> int:
+def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import perf
 
     payload = perf.run_bench(only=args.only, repeats=args.repeats)
@@ -339,7 +375,7 @@ def _cmd_bench(args) -> int:
     return 0
 
 
-def _cmd_report(args) -> int:
+def _cmd_report(args: argparse.Namespace) -> int:
     import pathlib
 
     results = pathlib.Path(args.results_dir)
@@ -365,13 +401,46 @@ def _cmd_report(args) -> int:
     return 0
 
 
-def _cmd_models(_args) -> int:
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis import (BASELINE_NAME, Baseline, analyze_project,
+                                find_project_root, load_project,
+                                render_json, render_text)
+
+    root = find_project_root(args.paths[0] if args.paths else None)
+    baseline_path = (Path(args.baseline) if args.baseline
+                     else root / BASELINE_NAME)
+    if args.update_baseline:
+        project = load_project(root, paths=args.paths or None)
+        result = analyze_project(project, only=args.rules)
+        Baseline.from_findings(result.findings).save(baseline_path)
+        print(f"wrote {baseline_path} "
+              f"({len(result.findings)} suppressions)")
+        return 0
+    baseline = None
+    if not args.no_baseline and baseline_path.is_file():
+        baseline = Baseline.load(baseline_path)
+    project = load_project(root, paths=args.paths or None)
+    result = analyze_project(project, baseline=baseline, only=args.rules)
+    if args.json:
+        print(render_json(result))
+    else:
+        print(render_text(result, verbose=args.verbose))
+    return 1 if result.gating else 0
+
+
+def _cmd_models(_args: argparse.Namespace) -> int:
+    from repro.core.model import ALL_MODELS
+
     for model in ALL_MODELS:
         print(model.name)
     return 0
 
 
-def _cmd_configs(_args) -> int:
+def _cmd_configs(_args: argparse.Namespace) -> int:
+    from repro.core.config import ABLATION_CONFIGS
+
     for config in ABLATION_CONFIGS:
         flags = [name for name in ("offload", "batching", "broadcast")
                  if getattr(config, name)]
@@ -384,6 +453,7 @@ _COMMANDS = {
     "chaos": _cmd_chaos,
     "experiment": _cmd_experiment,
     "figure": _cmd_figure,
+    "lint": _cmd_lint,
     "report": _cmd_report,
     "sweep": _cmd_sweep,
     "verify": _cmd_verify,

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from repro.errors import ConfigError
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ProtocolConfig:
     """Which architecture runs the DDP protocol."""
 

@@ -121,6 +121,8 @@ class RecordMeta:
 class MetadataTable:
     """All record metadata of one node, created lazily per key."""
 
+    __slots__ = ("sim", "_records")
+
     def __init__(self, sim: Simulator) -> None:
         self.sim = sim
         self._records: dict = {}

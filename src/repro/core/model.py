@@ -51,7 +51,7 @@ _PERSISTENCY_NAMES = {
 }
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DDPModel:
     """A ⟨consistency, persistency⟩ pair with its protocol policy."""
 

@@ -25,7 +25,7 @@ from repro.hw.params import us
 from repro.kv.log import LogEntry
 
 
-@dataclass
+@dataclass(slots=True)
 class Heartbeat:
     """Periodic liveness beacon."""
 
@@ -34,7 +34,7 @@ class Heartbeat:
     sent_at: float
 
 
-@dataclass
+@dataclass(slots=True)
 class JoinRequest:
     """A recovering node asks a designated node for catch-up data.
 
@@ -49,7 +49,7 @@ class JoinRequest:
     versions: Dict[Any, Any] = field(default_factory=dict)
 
 
-@dataclass
+@dataclass(slots=True)
 class JoinData:
     """Catch-up payload: committed log entries the joiner missed, plus
     the designated node's per-key glb knowledge.
@@ -65,7 +65,7 @@ class JoinData:
     glb: Dict[Any, tuple] = field(default_factory=dict)
 
 
-@dataclass
+@dataclass(slots=True)
 class Rejoined:
     """Broadcast by a recovered node so peers re-include it."""
 
@@ -81,6 +81,10 @@ class RecoveryManager:
         A node is declared failed by a peer once no heartbeat has been
         seen for *timeout* (must comfortably exceed the interval).
     """
+
+    __slots__ = ("cluster", "sim", "heartbeat_interval", "timeout",
+                 "last_seen", "suspected", "detections", "rejoins",
+                 "_seq", "_rejoin_gates", "_round_changed")
 
     def __init__(self, cluster, heartbeat_interval: float = us(50),
                  timeout: float = us(200)) -> None:

@@ -30,6 +30,8 @@ def next_persist_id() -> int:
 class ScopeTracker:
     """Per-node bookkeeping of scoped writes and their local persists."""
 
+    __slots__ = ("sim", "_pending", "writes_seen", "persists_completed")
+
     def __init__(self, sim: Simulator) -> None:
         self.sim = sim
         #: scope -> list of per-write local-persist-completion events.

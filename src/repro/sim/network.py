@@ -76,6 +76,10 @@ class Port:
     serialization, fan-out to every destination (paper §V-B.3).
     """
 
+    __slots__ = ("sim", "latency", "bandwidth", "gap", "name",
+                 "_busy_until", "packets_sent", "bytes_sent",
+                 "fault_injector")
+
     def __init__(self, sim: Simulator, latency_s: float,
                  bandwidth_bps: float, gap_s: float = 0.0,
                  name: str = "") -> None:
@@ -176,6 +180,8 @@ class Network:
     characteristics, so the host↔SmartNIC PCIe hop and the SNIC↔SNIC
     network hop are just two Ports with different parameters.
     """
+
+    __slots__ = ("sim", "_mailboxes", "_ports", "_fault_injector")
 
     def __init__(self, sim: Simulator) -> None:
         self.sim = sim

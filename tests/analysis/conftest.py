@@ -1,0 +1,31 @@
+"""Shared fixtures for the static-analysis tests."""
+
+import pytest
+
+from repro.analysis import analyze_project, load_project_from_sources
+
+
+@pytest.fixture
+def check():
+    """Run the analyzer over in-memory ``{relpath: source}`` dicts."""
+
+    def run(sources, only=None, baseline=None):
+        project = load_project_from_sources(sources)
+        return analyze_project(project, baseline=baseline, only=only)
+
+    return run
+
+
+@pytest.fixture
+def finding_index(check):
+    """Like ``check`` but returns ``{rule_id: [(path, line), ...]}``."""
+
+    def run(sources, only=None):
+        result = check(sources, only=only)
+        index = {}
+        for finding in result.findings:
+            index.setdefault(finding.rule, []).append(
+                (finding.path, finding.line))
+        return index
+
+    return run

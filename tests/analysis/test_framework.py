@@ -1,0 +1,108 @@
+"""Framework-level tests: loading, symbols, registry, suppression."""
+
+import textwrap
+
+from repro.analysis import (RULES, Finding, load_project,
+                            load_project_from_sources, parse_module)
+from repro.analysis.core import enclosing_symbol
+
+
+class TestParsing:
+    def test_qualnames_and_classes(self):
+        module = parse_module("src/repro/sim/x.py", textwrap.dedent("""
+            class Outer:
+                __slots__ = ("a",)
+                def method(self):
+                    pass
+
+            def top():
+                pass
+        """))
+        names = set(module.qualnames.values())
+        assert {"Outer", "Outer.method", "top"} <= names
+        (info,) = module.classes
+        assert info.name == "Outer"
+        assert info.slots == ("a",)
+        assert info.slotted
+
+    def test_dataclass_slots_detected(self):
+        module = parse_module("m.py", textwrap.dedent("""
+            from dataclasses import dataclass
+
+            @dataclass(slots=True)
+            class Rec:
+                x: int
+                y: float = 0.0
+        """))
+        (info,) = module.classes
+        assert info.is_dataclass and info.dataclass_slots
+        assert info.slots == ("x", "y")
+
+    def test_package_rel_strips_src(self):
+        module = parse_module("src/repro/core/engine.py", "")
+        assert module.package_rel == "repro/core/engine.py"
+        assert module.in_subsystem("repro/core")
+        assert not module.in_subsystem("repro/sim")
+
+    def test_enclosing_symbol_picks_smallest_scope(self):
+        module = parse_module("m.py", textwrap.dedent("""
+            class C:
+                def method(self):
+                    x = 1
+                    return x
+        """))
+        target = None
+        import ast
+
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Return):
+                target = node
+        assert enclosing_symbol(module, target) == "C.method"
+
+
+class TestProject:
+    def test_resolve_class_and_mro_slots(self):
+        project = load_project_from_sources({
+            "a.py": "class Base:\n    __slots__ = ('x',)\n",
+            "b.py": ("class Child(Base):\n"
+                     "    __slots__ = ('y',)\n"),
+        })
+        child = project.resolve_class("Child")
+        assert child is not None
+        assert set(project.known_mro_slots(child)) == {"x", "y"}
+
+    def test_mro_slots_none_when_base_unslotted(self):
+        project = load_project_from_sources({
+            "a.py": "class Base:\n    pass\n",
+            "b.py": ("class Child(Base):\n"
+                     "    __slots__ = ('y',)\n"),
+        })
+        child = project.resolve_class("Child")
+        assert project.known_mro_slots(child) is None
+
+    def test_parse_error_becomes_finding(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text("")
+        pkg = tmp_path / "src" / "repro"
+        pkg.mkdir(parents=True)
+        (pkg / "bad.py").write_text("def broken(:\n")
+        project = load_project(tmp_path)
+        assert len(project.parse_errors) == 1
+        assert project.parse_errors[0].rule == "parse-error"
+
+
+class TestRegistry:
+    def test_all_five_rule_modules_registered(self):
+        from repro.analysis.core import _load_rules
+
+        _load_rules()
+        assert {"protocol", "determinism", "slots", "fastpath",
+                "api"} <= set(RULES)
+
+
+class TestSuppressionKey:
+    def test_key_is_line_free(self):
+        a = Finding(rule="r", path="p.py", line=3, symbol="C.m",
+                    message="x")
+        b = Finding(rule="r", path="p.py", line=99, symbol="C.m",
+                    message="moved")
+        assert a.suppression_key == b.suppression_key

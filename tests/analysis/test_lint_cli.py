@@ -1,0 +1,129 @@
+"""End-to-end ``repro lint``: CLI behavior, JSON payload, import
+hygiene, and the acceptance gates the CI job relies on."""
+
+import ast
+import json
+import os
+import subprocess
+import sys
+import textwrap
+
+from repro.analysis import find_project_root
+from repro.cli import main
+
+ROOT = find_project_root()
+
+
+def _run_lint(*argv, cwd=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "lint", *argv],
+        cwd=cwd or ROOT, env=env, capture_output=True, text=True)
+
+
+class TestRepoIsClean:
+    def test_lint_exits_zero_on_tree(self):
+        proc = _run_lint()
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "0 findings" in proc.stdout
+
+    def test_json_payload_shape(self):
+        proc = _run_lint("--json")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        payload = json.loads(proc.stdout)
+        assert payload["schema"] == "repro-lint/1"
+        assert payload["findings"] == []
+        assert payload["files_checked"] > 50
+
+    def test_access_table_covers_every_engine_handler(self):
+        proc = _run_lint("--json")
+        payload = json.loads(proc.stdout)
+        engines = payload["metadata_access"]["engines"]
+        for engine_name, rel in (
+                ("BaselineEngine", "src/repro/core/baseline/engine.py"),
+                ("OffloadEngine", "src/repro/core/offload/engine.py")):
+            tree = ast.parse((ROOT / rel).read_text())
+            class_node = next(
+                node for node in tree.body
+                if isinstance(node, ast.ClassDef)
+                and node.name == engine_name)
+            methods = {stmt.name for stmt in class_node.body
+                       if isinstance(stmt, (ast.FunctionDef,
+                                            ast.AsyncFunctionDef))}
+            assert set(engines[engine_name]) == methods
+            # The protocol's commit points must be visible in the table.
+            writers = {h for h, d in engines[engine_name].items()
+                       if "glb_durable_ts" in d["writes"]}
+            assert writers, f"no glb_durable_ts writers in {engine_name}"
+
+    def test_lint_does_not_import_simulator(self):
+        code = textwrap.dedent("""
+            import sys
+            import repro.cli
+            import repro.analysis
+            bad = [m for m in sys.modules
+                   if m.startswith(('repro.sim', 'repro.core',
+                                    'repro.hw', 'repro.api'))]
+            sys.exit(1 if bad else 0)
+        """)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(ROOT / "src")
+        proc = subprocess.run([sys.executable, "-c", code], env=env,
+                              capture_output=True, text=True)
+        assert proc.returncode == 0, proc.stderr
+
+
+class TestSeededViolation:
+    def _scratch(self, tmp_path, source):
+        (tmp_path / "pyproject.toml").write_text("")
+        pkg = tmp_path / "src" / "repro" / "sim"
+        pkg.mkdir(parents=True)
+        (pkg / "kernel.py").write_text(textwrap.dedent(source))
+        return tmp_path
+
+    def test_violation_fails_with_rule_and_line(self, tmp_path, capsys):
+        root = self._scratch(tmp_path, """
+            import time
+
+            def now():
+                return time.time()
+        """)
+        code = main(["lint", str(root / "src" / "repro"),
+                     "--no-baseline"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "no-wallclock" in out
+        assert "kernel.py:5" in out
+
+    def test_update_baseline_then_clean(self, tmp_path, capsys):
+        root = self._scratch(tmp_path, """
+            import time
+
+            def now():
+                return time.time()
+        """)
+        baseline = root / "lint-baseline.json"
+        assert main(["lint", str(root / "src" / "repro"),
+                     "--baseline", str(baseline),
+                     "--update-baseline"]) == 0
+        capsys.readouterr()
+        assert baseline.is_file()
+        assert main(["lint", str(root / "src" / "repro"),
+                     "--baseline", str(baseline)]) == 0
+        assert "1 baseline-suppressed" in capsys.readouterr().out
+
+
+class TestRuleSelection:
+    def test_only_runs_requested_rule(self, tmp_path, capsys):
+        (tmp_path / "pyproject.toml").write_text("")
+        pkg = tmp_path / "src" / "repro" / "sim"
+        pkg.mkdir(parents=True)
+        (pkg / "kernel.py").write_text(
+            "import time\n\n\nclass Fresh:\n"
+            "    def now(self):\n        return time.time()\n")
+        assert main(["lint", str(pkg), "--no-baseline",
+                     "--rule", "slots"]) == 1
+        out = capsys.readouterr().out
+        assert "slots-required" in out
+        assert "no-wallclock" not in out

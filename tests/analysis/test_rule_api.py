@@ -1,0 +1,68 @@
+"""API discipline rule: facade __all__ drift and example imports."""
+
+import textwrap
+
+
+class TestFacadeDrift:
+    def test_unbound_export_flagged(self, finding_index):
+        index = finding_index({"src/repro/api.py": textwrap.dedent("""
+            from repro.core.timestamp import Timestamp
+
+            __all__ = ["Timestamp", "Ghost"]
+        """)}, only=["api"])
+        assert index["api-all-drift"] == [("src/repro/api.py", 4)]
+
+    def test_unexported_binding_flagged(self, finding_index):
+        index = finding_index({"src/repro/api.py": textwrap.dedent("""
+            from repro.core.timestamp import Timestamp
+            from repro.core.config import ProtocolConfig
+
+            __all__ = ["Timestamp"]
+        """)}, only=["api"])
+        assert "api-all-drift" in index
+
+    def test_consistent_facade_clean(self, finding_index):
+        index = finding_index({"src/repro/api.py": textwrap.dedent("""
+            from repro.core.timestamp import Timestamp
+
+            __all__ = ["Timestamp"]
+        """)}, only=["api"])
+        assert index == {}
+
+    def test_private_names_exempt(self, finding_index):
+        index = finding_index({"src/repro/api.py": textwrap.dedent("""
+            from repro.core.timestamp import Timestamp
+            import typing as _typing
+
+            __all__ = ["Timestamp"]
+        """)}, only=["api"])
+        assert index == {}
+
+
+class TestExampleImports:
+    def test_deep_import_flagged(self, finding_index):
+        index = finding_index({"examples/demo.py": textwrap.dedent("""
+            from repro.api import MinosCluster
+            from repro.core.engine import EngineBase
+        """)}, only=["api"])
+        assert index["api-import-discipline"] == [("examples/demo.py", 3)]
+
+    def test_bare_repro_import_flagged(self, finding_index):
+        index = finding_index({"examples/demo.py": textwrap.dedent("""
+            from repro import MinosCluster
+        """)}, only=["api"])
+        assert "api-import-discipline" in index
+
+    def test_api_and_stdlib_clean(self, finding_index):
+        index = finding_index({"examples/demo.py": textwrap.dedent("""
+            import argparse
+
+            from repro.api import MinosCluster, YcsbWorkload
+        """)}, only=["api"])
+        assert index == {}
+
+    def test_non_example_files_unconstrained(self, finding_index):
+        index = finding_index({"src/repro/cluster/x.py": textwrap.dedent("""
+            from repro.core.engine import EngineBase
+        """)}, only=["api"])
+        assert index == {}

@@ -1,0 +1,94 @@
+"""Slots rule: undeclared-slot assignment and hot-path coverage."""
+
+import textwrap
+
+
+class TestSlotsUndeclared:
+    def test_assignment_outside_slots_flagged(self, finding_index):
+        index = finding_index({"src/repro/sim/events.py": textwrap.dedent("""
+            class Event:
+                __slots__ = ("ts",)
+
+                def __init__(self):
+                    self.ts = 0
+                    self.callback = None
+        """)}, only=["slots"])
+        assert index["slots-undeclared"] == [("src/repro/sim/events.py", 7)]
+
+    def test_inherited_slots_count(self, finding_index):
+        index = finding_index({"src/repro/sim/events.py": textwrap.dedent("""
+            class Event:
+                __slots__ = ("ts",)
+
+            class Timeout(Event):
+                __slots__ = ("deadline",)
+
+                def __init__(self):
+                    self.ts = 0
+                    self.deadline = 1
+        """)}, only=["slots"])
+        assert "slots-undeclared" not in index
+
+    def test_unslotted_base_disables_check(self, finding_index):
+        # A __dict__-ful base means assignments cannot fail at runtime.
+        index = finding_index({"src/repro/sim/events.py": textwrap.dedent("""
+            class Base:
+                pass
+
+            class Timeout(Base):
+                __slots__ = ("deadline",)
+
+                def __init__(self):
+                    self.anything = 1
+        """)}, only=["slots"])
+        assert "slots-undeclared" not in index
+
+
+class TestSlotsRequired:
+    def test_bare_class_in_hot_path_flagged(self, finding_index):
+        index = finding_index({"src/repro/core/thing.py": textwrap.dedent("""
+            class Fresh:
+                def __init__(self):
+                    self.x = 1
+        """)}, only=["slots"])
+        assert index["slots-required"] == [("src/repro/core/thing.py", 2)]
+
+    def test_outside_hot_path_allowed(self, finding_index):
+        index = finding_index({
+            "src/repro/bench/thing.py": "class Fresh:\n    pass\n",
+        }, only=["slots"])
+        assert index == {}
+
+    def test_slotted_dataclass_allowed(self, finding_index):
+        index = finding_index({"src/repro/core/thing.py": textwrap.dedent("""
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True, slots=True)
+            class Rec:
+                x: int
+        """)}, only=["slots"])
+        assert index == {}
+
+    def test_enum_and_exception_exempt(self, finding_index):
+        index = finding_index({"src/repro/core/thing.py": textwrap.dedent("""
+            import enum
+
+            class Kind(enum.Enum):
+                A = 1
+
+            class ProtocolError(Exception):
+                pass
+        """)}, only=["slots"])
+        assert index == {}
+
+    def test_subclass_of_unslotted_base_exempt(self, finding_index):
+        # Slots on a subclass of a __dict__-ful (grandfathered) base buy
+        # nothing; only the base itself is reported.
+        index = finding_index({"src/repro/core/engines.py": textwrap.dedent("""
+            class EngineBase:
+                pass
+
+            class BaselineEngine(EngineBase):
+                pass
+        """)}, only=["slots"])
+        assert index["slots-required"] == [("src/repro/core/engines.py", 2)]
