@@ -72,6 +72,15 @@ _EXPORTS = {
     "ModelChecker": "repro.verify",
     "ProtocolSpec": "repro.verify",
     "WriteDef": "repro.verify",
+    "Observability": "repro.obs",
+    "MetricsRegistry": "repro.obs",
+    "LogHistogram": "repro.obs",
+    "Span": "repro.obs",
+    "Segment": "repro.obs",
+    "chrome_trace": "repro.obs",
+    "write_chrome_trace": "repro.obs",
+    "write_jsonl": "repro.obs",
+    "validate_chrome_trace": "repro.obs",
     "OpResult": "repro.cluster.results",
     "Metrics": "repro.metrics.stats",
     # convenience re-exports beyond the facade

@@ -40,11 +40,16 @@ from repro.analysis.core import (ModuleSource, Project, Rule, dotted_name,
 from repro.analysis.report import Finding
 
 #: Attribute names whose presence gates an observability fast path.
-OBSERVER_GUARDS = ("tracer", "fault_injector", "injector")
+OBSERVER_GUARDS = ("tracer", "fault_injector", "injector", "obs")
 
 #: Call names that are pure observation (allowed in a guarded arm).
 OBSERVER_CALLS = {"trace", "record", "observe", "note", "log", "emit",
                   "append", "isoformat"}
+
+#: Side-effect-free builtins: fine as argument plumbing in a guarded arm
+#: (e.g. ``self.obs.gauge(..., float(len(self.vfifo)))``).
+PURE_BUILTINS = {"len", "float", "int", "str", "bool", "abs", "min", "max",
+                 "round", "sorted", "tuple", "getattr"}
 
 #: Subsystems the parity rules patrol.
 FASTPATH_SUBSYSTEMS = ("repro/sim", "repro/core", "repro/hw")
@@ -103,6 +108,8 @@ def _effects(statements: Sequence[ast.stmt], guard: str,
                     continue
                 if target.startswith(guard + "."):
                     continue  # a method on the observer itself
+                if "." not in target and target in PURE_BUILTINS:
+                    continue
                 tail = target.rsplit(".", 1)[-1]
                 if tail in OBSERVER_CALLS:
                     continue

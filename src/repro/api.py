@@ -26,6 +26,12 @@ The surface, by theme:
 * **Microservices** — :data:`MEDIA_LOGIN` / :data:`SOCIAL_LOGIN`
   workflows with :func:`run_microservice` (Fig. 14), and :func:`us`
   for microsecond literals.
+* **Observability** — :class:`Observability` (attach via
+  :meth:`MinosCluster.attach_obs`), :class:`MetricsRegistry` /
+  :class:`LogHistogram`, the :class:`Span` / :class:`Segment` records,
+  and the exporters :func:`chrome_trace` / :func:`write_chrome_trace`
+  (Perfetto-loadable) / :func:`write_jsonl` with
+  :func:`validate_chrome_trace` (see docs/observability.md).
 * **Results** — :class:`OpResult`, :class:`ExperimentResult`,
   :class:`Metrics`, :class:`Timestamp`.
 """
@@ -46,6 +52,9 @@ from repro.core.timestamp import Timestamp
 from repro.faults import CrashWindow, FaultPlan, run_chaos
 from repro.hw.params import DEFAULT_MACHINE, MachineParams, us
 from repro.metrics.stats import Metrics
+from repro.obs import (LogHistogram, MetricsRegistry, Observability,
+                       Segment, Span, chrome_trace, validate_chrome_trace,
+                       write_chrome_trace, write_jsonl)
 from repro.verify import ModelChecker, ProtocolSpec, WriteDef
 from repro.workloads import MEDIA_LOGIN, SOCIAL_LOGIN
 from repro.workloads.ycsb import YcsbWorkload
@@ -89,6 +98,16 @@ __all__ = [
     "ModelChecker",
     "ProtocolSpec",
     "WriteDef",
+    # observability
+    "Observability",
+    "MetricsRegistry",
+    "LogHistogram",
+    "Span",
+    "Segment",
+    "chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+    "validate_chrome_trace",
     # results
     "OpResult",
     "Metrics",

@@ -11,7 +11,10 @@ Commands:
   (loss/duplication/delay + crash/restart) and check the runtime
   invariants afterwards.
 * ``trace``      — trace a single replicated write and print the
-  per-node protocol timeline.
+  per-node protocol timeline; ``--export`` additionally writes a
+  Chrome trace-event JSON (Perfetto-loadable).
+* ``profile``    — run a workload with the span recorder attached and
+  print the per-protocol-phase latency breakdown.
 * ``sweep``      — cartesian parameter sweeps over experiment points.
 * ``bench``      — simulator performance benchmarks (events/sec,
   messages/sec, macro YCSB wall-clock); writes ``BENCH_*.json`` and
@@ -132,6 +135,24 @@ def _build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--arch", default="MINOS-O")
     trace.add_argument("--model", default="synch")
     trace.add_argument("--nodes", type=int, default=3)
+    trace.add_argument("--export", default=None, metavar="FILE",
+                       dest="export_path",
+                       help="also write a Chrome trace-event JSON of the "
+                       "write (load in Perfetto / chrome://tracing)")
+    trace.add_argument("--jsonl", default=None, metavar="FILE",
+                       help="also write the raw span/segment stream as "
+                       "JSON Lines")
+
+    profile = sub.add_parser(
+        "profile", help="run a workload with the span recorder attached "
+        "and print the per-phase latency breakdown")
+    _add_experiment_args(profile, nodes=3, records=100, requests=40,
+                         clients=2)
+    profile.add_argument("--export", default=None, metavar="FILE",
+                         dest="export_path",
+                         help="write the Chrome trace-event JSON here")
+    profile.add_argument("--jsonl", default=None, metavar="FILE",
+                         help="write the span/segment stream as JSON Lines")
 
     sweep = sub.add_parser(
         "sweep", help="cartesian parameter sweep "
@@ -309,6 +330,28 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def _export_obs(obs, export_path, jsonl_path) -> int:
+    """Write the requested trace artifacts; non-zero when the exported
+    Chrome trace fails its own validator."""
+    from repro.obs import (validate_chrome_trace, write_chrome_trace,
+                           write_jsonl)
+
+    status = 0
+    if export_path:
+        payload = write_chrome_trace(obs, export_path)
+        problems = validate_chrome_trace(payload)
+        for problem in problems:
+            print(f"TRACE INVALID: {problem}", file=sys.stderr)
+        if problems:
+            status = 1
+        print(f"wrote {export_path} "
+              f"({len(payload['traceEvents'])} trace events)")
+    if jsonl_path:
+        count = write_jsonl(obs, jsonl_path)
+        print(f"wrote {jsonl_path} ({count} records)")
+    return status
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.cluster.cluster import MinosCluster
     from repro.core.config import config_by_name
@@ -319,13 +362,59 @@ def _cmd_trace(args: argparse.Namespace) -> int:
                            config=config_by_name(args.arch),
                            params=DEFAULT_MACHINE.with_nodes(args.nodes))
     tracer = cluster.attach_tracer()
+    obs = None
+    if args.export_path or args.jsonl:
+        obs = cluster.attach_obs()
     cluster.load_records([("key", "v0")])
     result = cluster.write(0, "key", "v1")
     cluster.sim.run()
     print(f"one write on {args.arch} {cluster.model.name}: "
           f"{result.latency * 1e6:.2f} us\n")
     print(tracer.timeline())
+    if obs is not None:
+        return _export_obs(obs, args.export_path, args.jsonl)
     return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.cluster.cluster import MinosCluster
+    from repro.workloads.ycsb import YcsbWorkload
+
+    config = _experiment_config(args)
+    cluster = MinosCluster(model=config.model, config=config.config,
+                           params=config.machine.with_nodes(config.nodes))
+    obs = cluster.attach_obs()
+    workload = YcsbWorkload(records=config.records,
+                            requests_per_client=config.requests_per_client,
+                            write_fraction=config.write_fraction,
+                            distribution=config.distribution,
+                            seed=config.seed,
+                            value_size=config.value_size)
+    cluster.run_workload(workload,
+                         clients_per_node=config.clients_per_node)
+    if args.json:
+        import json
+
+        payload = obs.to_dict()
+        payload["experiment"] = config.label()
+        print(json.dumps(payload, indent=2))
+        return _export_obs(obs, args.export_path, args.jsonl)
+    spans = obs.spans_for()
+    print(f"profile: {config.label()}")
+    print(f"  {len(spans)} spans, {len(obs.segments)} segments, "
+          f"{len(obs.instants)} instants across "
+          f"{len(obs.nodes())} nodes")
+    leaked = obs.open_segments()
+    if leaked:
+        print(f"  WARNING: {len(leaked)} segments never closed")
+    print(f"  {'phase':<18s} {'count':>6s} {'mean':>10s} "
+          f"{'p50':>10s} {'p99':>10s}")
+    for phase, summary in obs.phase_summaries().items():
+        print(f"  {phase:<18s} {summary.count:>6d} "
+              f"{summary.mean * 1e6:>8.2f}us "
+              f"{summary.p50 * 1e6:>8.2f}us "
+              f"{summary.p99 * 1e6:>8.2f}us")
+    return _export_obs(obs, args.export_path, args.jsonl)
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -455,6 +544,7 @@ _COMMANDS = {
     "figure": _cmd_figure,
     "lint": _cmd_lint,
     "report": _cmd_report,
+    "profile": _cmd_profile,
     "sweep": _cmd_sweep,
     "verify": _cmd_verify,
     "trace": _cmd_trace,

@@ -98,6 +98,8 @@ class MinosCluster:
         #: Installed :class:`repro.faults.FaultInjector` (None: fault-free).
         self.fault_injector = None
         self.tracer = None
+        #: Attached :class:`repro.obs.Observability` (None: detached).
+        self.obs = None
 
     def attach_tracer(self):
         """Attach a :class:`repro.trace.Tracer` to every engine (and the
@@ -112,6 +114,26 @@ class MinosCluster:
         if self.fault_injector is not None:
             self.fault_injector.tracer = tracer
         return tracer
+
+    def attach_obs(self):
+        """Attach a :class:`repro.obs.Observability` recorder to every
+        engine, SmartNIC, fabric port, and the fault injector (if one is
+        installed), and return it.  Spans, protocol-phase segments, and
+        metrics are recorded from this point on; detached (the default)
+        every call site costs one attribute check and the event calendar
+        is byte-identical (see ``tests/sim/test_calendar_identity.py``)."""
+        from repro.obs import Observability
+
+        obs = Observability(self.sim)
+        self.obs = obs
+        for node in self.nodes:
+            node.engine.obs = obs
+            if node.snic is not None:
+                node.snic.attach_obs(obs)
+        self.network.install_obs(obs)
+        if self.fault_injector is not None:
+            self.fault_injector.obs = obs
+        return obs
 
     # -- fault injection --------------------------------------------------------
 
@@ -139,6 +161,7 @@ class MinosCluster:
                     f"cluster has nodes 0..{len(self.nodes) - 1}")
         injector = FaultInjector(self.sim, plan)
         injector.tracer = self.tracer
+        injector.obs = self.obs
         self.network.install_fault_injector(injector)
         self.fault_injector = injector
         for node in self.nodes:

@@ -17,7 +17,7 @@ from typing import Any, Optional
 from repro.core.config import ProtocolConfig
 from repro.core.engine import (EngineBase, ReadResult, WriteResult,
                                WriteTxn, validate_model)
-from repro.core.messages import Message, MsgType
+from repro.core.messages import Message, MsgType, next_write_id
 from repro.core.metadata import RecordMeta
 from repro.core.model import DDPModel, Persistency
 from repro.core.scope import next_persist_id
@@ -104,7 +104,13 @@ class BaselineEngine(EngineBase):
             self.metrics.counters.val_rebroadcasts += 1
             self.trace("robust", "VAL rebroadcast", type=msg.type.name,
                        write_id=msg.write_id)
+            if self.obs is not None:
+                self.obs.seg_begin(self.node_id, msg.write_id,
+                                   "val_rebroadcast")
             yield from self._deposit_fanout(msg, self.params.control_size)
+            if self.obs is not None:
+                self.obs.seg_end(self.node_id, msg.write_id,
+                                 "val_rebroadcast", type=msg.type.name)
             delay = policy.next_timeout(delay)
 
     def _resend(self, msg: Message, targets):
@@ -150,9 +156,15 @@ class BaselineEngine(EngineBase):
             return (yield from self._client_write_eventual(key, value,
                                                            size=size))
         started = self.sim.now
+        # Minted unconditionally (not under the obs guard): attaching the
+        # recorder must not shift the write ids an unobserved run assigns.
+        write_id = next_write_id()
         self.metrics.counters.writes_started += 1
         if self.tracer is not None:
             self.trace("write", "start", key=key)
+        if self.obs is not None:
+            self.obs.op_begin(self.node_id, "write", write_id, key=key)
+            self.obs.seg_begin(self.node_id, write_id, "lock_acquire")
         if self.model.uses_scopes and scope is None:
             scope = 0  # default scope for unscoped writes under <Lin, Scope>
         params = self.params
@@ -163,22 +175,34 @@ class BaselineEngine(EngineBase):
         if meta.is_obsolete(ts):  # line 5
             yield from self.handle_obsolete(meta)  # line 6
             self.metrics.counters.writes_obsolete += 1
+            if self.obs is not None:
+                self.obs.seg_end(self.node_id, write_id, "lock_acquire",
+                                 obsolete=True)
+                self.obs.op_end(self.node_id, write_id, status="obsolete")
             return WriteResult(key, ts, True, self.sim.now - started)
         yield from self.host.sync_op()  # line 8: Snatch RDLock(k)
         if meta.snatch_rdlock(ts):
             self.metrics.counters.rdlock_snatches += 1
         yield meta.wrlock.acquire()  # line 9: spin for WRLock
         yield from self.host.sync_op()
+        if self.obs is not None:
+            self.obs.seg_end(self.node_id, write_id, "lock_acquire")
         txn: Optional[WriteTxn] = None
         if not meta.is_obsolete(ts):  # line 10: final timestamp check
             msg = self.stamp(Message(type=MsgType.INV, key=key, ts=ts,
                                      src=self.node_id, value=value,
-                                     scope=scope, size=size))
+                                     scope=scope, size=size,
+                                     write_id=write_id))
             txn = self.register_txn(key, ts, msg.write_id)
             txn.inv_deposited_at = self.sim.now
             if self.tracer is not None:
                 self.trace("write", "INVs deposited", key=key, ts=ts)
+            if self.obs is not None:
+                self.obs.seg_begin(self.node_id, write_id, "inv_fanout")
             yield from self._deposit_invs(msg)  # line 11: send INVs
+            if self.obs is not None:
+                self.obs.seg_end(self.node_id, write_id, "inv_fanout",
+                                 peers=len(self.peers))
             self.watch_retransmits(txn, msg, self._resend)
             yield self.host.llc.access(self.record_size(size))  # line 12
             self.kv.volatile_write(key, value, ts)
@@ -187,10 +211,16 @@ class BaselineEngine(EngineBase):
             meta.wrlock.release()  # line 15
             yield from self.handle_obsolete(meta)  # line 16
             self.metrics.counters.writes_obsolete += 1
+            if self.obs is not None:
+                self.obs.op_end(self.node_id, write_id, status="obsolete")
             return WriteResult(key, ts, True, self.sim.now - started)
         # line 17-18: INVs were sent; persist the update to NVM.
         if self.model.persist_in_critical_path:  # Synch, Strict
+            if self.obs is not None:
+                self.obs.seg_begin(self.node_id, write_id, "log_append")
             yield self.host.nvm.persist(self.record_size(size))
+            if self.obs is not None:
+                self.obs.seg_end(self.node_id, write_id, "log_append")
             self._local_persist(key, value, ts, scope, txn)
         else:  # REnf, Event, Scope: persist in the background (Fig. 3)
             scope_event = (self.scope_tracker.register_write(scope)
@@ -205,6 +235,8 @@ class BaselineEngine(EngineBase):
         if self.tracer is not None:
             self.trace("write", "complete", key=key, ts=ts,
                        latency_s=latency)
+        if self.obs is not None:
+            self.obs.op_end(self.node_id, write_id)
         return WriteResult(key, ts, False, latency)
 
     def _persist_record(self, key, value, ts, scope) -> None:
@@ -221,7 +253,12 @@ class BaselineEngine(EngineBase):
 
     def _background_persist(self, key, value, ts, scope, txn: WriteTxn,
                             scope_event, size: Optional[int] = None) -> None:
+        if self.obs is not None:
+            self.obs.seg_begin(self.node_id, txn.write_id, "log_append")
         yield self.host.nvm.persist(size or self.params.record_size)
+        if self.obs is not None:
+            self.obs.seg_end(self.node_id, txn.write_id, "log_append",
+                             background=True)
         self._local_persist(key, value, ts, scope, txn)
         if scope_event is not None and not scope_event.triggered:
             scope_event.succeed()
@@ -232,35 +269,74 @@ class BaselineEngine(EngineBase):
         """Steps e/f of Figs. 2-3: wait for ACKs, release the RDLock, send
         VALs, return to the client — in the model's order."""
         p = self.model.persistency
+        obs = self.obs
+        wid = txn.write_id
         if p is P.SYNCHRONOUS:
+            if obs is not None:
+                obs.seg_begin(self.node_id, wid, "ack_wait")
             yield txn.all_acks  # line 19: spin until all ACKs received
+            if obs is not None:
+                obs.seg_end(self.node_id, wid, "ack_wait", kind="ACK")
             meta.set_glb_volatile(ts)
             meta.set_glb_durable(ts)
+            self.obs_durable(key, meta)
             yield from self.host.sync_op()
             meta.release_rdlock(ts)  # lines 20-21 (no-op unless owner)
+            if obs is not None:
+                obs.seg_begin(self.node_id, wid, "val_broadcast")
             yield from self._deposit_vals(MsgType.VAL, key, ts, scope, txn.write_id)
+            if obs is not None:
+                obs.seg_end(self.node_id, wid, "val_broadcast", kind="VAL")
             self.retire_txn(txn.write_id)
         elif p is P.STRICT:
+            if obs is not None:
+                obs.seg_begin(self.node_id, wid, "ack_wait")
             yield txn.all_ack_cs  # step e: spin for ACK_Cs
+            if obs is not None:
+                obs.seg_end(self.node_id, wid, "ack_wait", kind="ACK_C")
             meta.set_glb_volatile(ts)
             yield from self.host.sync_op()
             meta.release_rdlock(ts)
+            if obs is not None:
+                obs.seg_begin(self.node_id, wid, "val_broadcast")
             yield from self._deposit_vals(MsgType.VAL_C, key, ts, scope, txn.write_id)
+            if obs is not None:
+                obs.seg_end(self.node_id, wid, "val_broadcast", kind="VAL_C")
+                obs.seg_begin(self.node_id, wid, "ack_wait")
             yield txn.all_ack_ps  # step f: spin for ACK_Ps
+            if obs is not None:
+                obs.seg_end(self.node_id, wid, "ack_wait", kind="ACK_P")
             meta.set_glb_durable(ts)
+            self.obs_durable(key, meta)
+            if obs is not None:
+                obs.seg_begin(self.node_id, wid, "val_broadcast")
             yield from self._deposit_vals(MsgType.VAL_P, key, ts, scope, txn.write_id)
+            if obs is not None:
+                obs.seg_end(self.node_id, wid, "val_broadcast", kind="VAL_P")
             self.retire_txn(txn.write_id)
         elif p is P.READ_ENFORCED:
+            if obs is not None:
+                obs.seg_begin(self.node_id, wid, "ack_wait")
             yield txn.all_ack_cs  # step e: return to client after ACK_Cs
+            if obs is not None:
+                obs.seg_end(self.node_id, wid, "ack_wait", kind="ACK_C")
             meta.set_glb_volatile(ts)
             self.sim.spawn(self._renf_finish(txn, meta, key, ts, scope),
                            name=self._persist_name)
         else:  # EVENTUAL, SCOPE (Fig. 3 v-viii)
+            if obs is not None:
+                obs.seg_begin(self.node_id, wid, "ack_wait")
             yield txn.all_ack_cs
+            if obs is not None:
+                obs.seg_end(self.node_id, wid, "ack_wait", kind="ACK_C")
             meta.set_glb_volatile(ts)
             yield from self.host.sync_op()
             meta.release_rdlock(ts)
+            if obs is not None:
+                obs.seg_begin(self.node_id, wid, "val_broadcast")
             yield from self._deposit_vals(MsgType.VAL_C, key, ts, scope, txn.write_id)
+            if obs is not None:
+                obs.seg_end(self.node_id, wid, "val_broadcast", kind="VAL_C")
             self.retire_txn(txn.write_id)
 
     def _renf_finish(self, txn: WriteTxn, meta: RecordMeta, key: Any,
@@ -268,11 +344,22 @@ class BaselineEngine(EngineBase):
         """REnf epilogue (runs after the client got its response): once all
         ACK_Ps arrive and the local persist is durable, release the RDLock
         and send the (single-type) VALs."""
+        if self.obs is not None:
+            self.obs.seg_begin(self.node_id, txn.write_id, "ack_wait")
         yield self.sim.all_of([txn.all_ack_ps, txn.local_persist_done])
+        if self.obs is not None:
+            self.obs.seg_end(self.node_id, txn.write_id, "ack_wait",
+                             kind="ACK_P")
         meta.set_glb_durable(ts)
+        self.obs_durable(key, meta)
         yield from self.host.sync_op()
         meta.release_rdlock(ts)
+        if self.obs is not None:
+            self.obs.seg_begin(self.node_id, txn.write_id, "val_broadcast")
         yield from self._deposit_vals(MsgType.VAL, key, ts, scope, txn.write_id)
+        if self.obs is not None:
+            self.obs.seg_end(self.node_id, txn.write_id, "val_broadcast",
+                             kind="VAL")
         self.retire_txn(txn.write_id)
 
     # ======================================================================
@@ -284,16 +371,26 @@ class BaselineEngine(EngineBase):
         RDLock is taken."""
         started = self.sim.now
         params = self.params
+        op_id = None
+        if self.obs is not None:
+            op_id = self.obs.begin_read(self.node_id, key)
         yield from self.host.compute(params.host.request_overhead)
         meta = self.kv.meta(key)
         if not self.model.is_eventual_consistency and not meta.rdlock_free:
             self.metrics.counters.read_stalls += 1
+            if self.obs is not None:
+                self.obs.seg_begin(self.node_id, op_id, "rdlock_wait")
             yield from meta.wait_rdlock_free()
+            if self.obs is not None:
+                self.obs.seg_end(self.node_id, op_id, "rdlock_wait")
         probes = self.kv.lookup_probes(key)
         yield from self.host.compute(params.host.kv_lookup * probes)
         yield self.host.llc.access(params.record_size)
         versioned = self.kv.volatile_read(key)
         latency = self.record_read_metrics(started)
+        if self.obs is not None:
+            self.obs.op_end(self.node_id, op_id,
+                            status="ok" if versioned is not None else "miss")
         if versioned is None:
             return ReadResult(key, None, NULL_TS, latency)
         return ReadResult(key, versioned.value, versioned.ts, latency)
@@ -308,24 +405,46 @@ class BaselineEngine(EngineBase):
             raise ProtocolError(
                 f"client_persist requires <Lin, Scope>, not {self.model}")
         started = self.sim.now
+        write_id = next_write_id()  # unconditional: see client_write
+        if self.obs is not None:
+            self.obs.op_begin(self.node_id, "persist", write_id, key=scope)
         yield from self.host.compute(self.params.host.request_overhead)
         persist_id = next_persist_id()
         msg = self.stamp(Message(type=MsgType.PERSIST, key=None, ts=NULL_TS,
                                  src=self.node_id, scope=scope,
-                                 persist_id=persist_id))
+                                 persist_id=persist_id, write_id=write_id))
         txn = self.register_txn(None, NULL_TS, msg.write_id)
+        if self.obs is not None:
+            self.obs.seg_begin(self.node_id, write_id, "inv_fanout")
         yield from self._deposit_fanout(msg, self.params.control_size)
+        if self.obs is not None:
+            self.obs.seg_end(self.node_id, write_id, "inv_fanout",
+                             kind="PERSIST")
         self.watch_retransmits(txn, msg, self._resend)
         # Complete all local persists belonging to the scope, plus the
         # [PERSIST]sc bookkeeping record itself.
+        if self.obs is not None:
+            self.obs.seg_begin(self.node_id, write_id, "scope_wait")
         yield from self.scope_tracker.wait_scope_durable(scope)
         yield self.host.nvm.persist(self.params.control_size)
+        if self.obs is not None:
+            self.obs.seg_end(self.node_id, write_id, "scope_wait")
+            self.obs.seg_begin(self.node_id, write_id, "ack_wait")
         yield txn.all_ack_ps  # spin for [ACK_P]sc from every Follower
+        if self.obs is not None:
+            self.obs.seg_end(self.node_id, write_id, "ack_wait",
+                             kind="ACK_P")
+            self.obs.seg_begin(self.node_id, write_id, "val_broadcast")
         yield from self._deposit_vals(MsgType.VAL_P, None, NULL_TS, scope,
                            txn.write_id, persist_id=persist_id)
+        if self.obs is not None:
+            self.obs.seg_end(self.node_id, write_id, "val_broadcast",
+                             kind="VAL_P")
         self.retire_txn(txn.write_id)
         self.metrics.counters.scope_persist_txns += 1
         self.metrics.persist_latency.add(self.sim.now - started)
+        if self.obs is not None:
+            self.obs.op_end(self.node_id, write_id)
         return self.sim.now - started
 
     # ======================================================================
@@ -338,8 +457,12 @@ class BaselineEngine(EngineBase):
         persist) the local replica, launch the INVs for lazy propagation,
         and return — no ACK/VAL round, no RDLock."""
         started = self.sim.now
+        write_id = next_write_id()  # unconditional: see client_write
         self.metrics.counters.writes_started += 1
         self.trace("write", "start (EC)", key=key)
+        if self.obs is not None:
+            self.obs.op_begin(self.node_id, "write", write_id, key=key)
+            self.obs.seg_begin(self.node_id, write_id, "lock_acquire")
         params = self.params
         meta = self.kv.meta(key)
         yield from self.host.compute(params.host.request_overhead)
@@ -350,15 +473,31 @@ class BaselineEngine(EngineBase):
         if meta.is_obsolete(ts):
             meta.wrlock.release()
             self.metrics.counters.writes_obsolete += 1
+            if self.obs is not None:
+                self.obs.seg_end(self.node_id, write_id, "lock_acquire",
+                                 obsolete=True)
+                self.obs.op_end(self.node_id, write_id, status="obsolete")
             return WriteResult(key, ts, True, self.sim.now - started)
+        if self.obs is not None:
+            self.obs.seg_end(self.node_id, write_id, "lock_acquire")
         msg = self.stamp(Message(type=MsgType.INV, key=key, ts=ts,
-                                 src=self.node_id, value=value, size=size))
+                                 src=self.node_id, value=value, size=size,
+                                 write_id=write_id))
+        if self.obs is not None:
+            self.obs.seg_begin(self.node_id, write_id, "inv_fanout")
         yield from self._deposit_invs(msg)  # lazy propagation
+        if self.obs is not None:
+            self.obs.seg_end(self.node_id, write_id, "inv_fanout",
+                             peers=len(self.peers))
         yield self.host.llc.access(self.record_size(size))
         self.kv.volatile_write(key, value, ts)
         meta.wrlock.release()
         if self.model.persist_in_critical_path:  # <EC, Synch>
+            if self.obs is not None:
+                self.obs.seg_begin(self.node_id, write_id, "log_append")
             yield self.host.nvm.persist(self.record_size(size))
+            if self.obs is not None:
+                self.obs.seg_end(self.node_id, write_id, "log_append")
             self._persist_record(key, value, ts, None)
         else:  # <EC, Event>
             self.sim.spawn(self._ec_background_persist(
@@ -368,6 +507,8 @@ class BaselineEngine(EngineBase):
         self.metrics.record_write(latency)
         self.trace("write", "complete (EC)", key=key, ts=ts,
                    latency_s=latency)
+        if self.obs is not None:
+            self.obs.op_end(self.node_id, write_id)
         return WriteResult(key, ts, False, latency)
 
     def _ec_background_persist(self, key, value, ts, size=None):
@@ -478,6 +619,8 @@ class BaselineEngine(EngineBase):
         handling_started = self.sim.now
         if self.tracer is not None:
             self.trace("follower", "INV received", key=msg.key, ts=msg.ts)
+        if self.obs is not None:
+            self.obs.seg_begin(self.node_id, msg.write_id, "inv_handle")
         params = self.params
         meta = self.kv.meta(msg.key)
         p = self.model.persistency
@@ -485,6 +628,9 @@ class BaselineEngine(EngineBase):
             yield from self._ack_obsolete(meta, msg)  # lines 28-29
             self.metrics.record_follower_handling(
                 msg.write_id, self.sim.now - handling_started)
+            if self.obs is not None:
+                self.obs.seg_end(self.node_id, msg.write_id, "inv_handle",
+                                 obsolete=True)
             return  # line 30
         yield from self.host.sync_op()  # line 31: Snatch RDLock
         if meta.snatch_rdlock(msg.ts):
@@ -501,6 +647,8 @@ class BaselineEngine(EngineBase):
             yield from self._ack_obsolete(meta, msg)  # line 38 + ACK
         self.metrics.record_follower_handling(
             msg.write_id, self.sim.now - handling_started)
+        if self.obs is not None:
+            self.obs.seg_end(self.node_id, msg.write_id, "inv_handle")
 
     def _follower_ack_updated(self, msg: Message):
         """Persist and acknowledge after a successful LLC update, in the
@@ -508,12 +656,20 @@ class BaselineEngine(EngineBase):
         params = self.params
         p = self.model.persistency
         if p is P.SYNCHRONOUS:
+            if self.obs is not None:
+                self.obs.seg_begin(self.node_id, msg.write_id, "log_append")
             yield self.host.nvm.persist(self.record_size(msg))  # line 39
+            if self.obs is not None:
+                self.obs.seg_end(self.node_id, msg.write_id, "log_append")
             self._persist_record(msg.key, msg.value, msg.ts, msg.scope)
             yield from self._reply(msg, MsgType.ACK)  # line 40
         elif p is P.STRICT:
             yield from self._reply(msg, MsgType.ACK_C)
+            if self.obs is not None:
+                self.obs.seg_begin(self.node_id, msg.write_id, "log_append")
             yield self.host.nvm.persist(self.record_size(msg))
+            if self.obs is not None:
+                self.obs.seg_end(self.node_id, msg.write_id, "log_append")
             self._persist_record(msg.key, msg.value, msg.ts, msg.scope)
             yield from self._reply(msg, MsgType.ACK_P)
         elif p is P.READ_ENFORCED:
@@ -529,13 +685,23 @@ class BaselineEngine(EngineBase):
 
     def _renf_follower_persist(self, msg: Message):
         """REnf: persist off the critical path, then send ACK_P."""
+        if self.obs is not None:
+            self.obs.seg_begin(self.node_id, msg.write_id, "log_append")
         yield self.host.nvm.persist(self.record_size(msg))
+        if self.obs is not None:
+            self.obs.seg_end(self.node_id, msg.write_id, "log_append",
+                             background=True)
         self._persist_record(msg.key, msg.value, msg.ts, msg.scope)
         yield from self._reply(msg, MsgType.ACK_P)
 
     def _eventual_persist(self, msg: Message, scope_event):
         """Event/Scope: persist eventually; no persistency messages."""
+        if self.obs is not None:
+            self.obs.seg_begin(self.node_id, msg.write_id, "log_append")
         yield self.host.nvm.persist(self.record_size(msg))
+        if self.obs is not None:
+            self.obs.seg_end(self.node_id, msg.write_id, "log_append",
+                             background=True)
         self._persist_record(msg.key, msg.value, msg.ts, msg.scope)
         if scope_event is not None and not scope_event.triggered:
             scope_event.succeed()
@@ -550,10 +716,12 @@ class BaselineEngine(EngineBase):
         if msg.type is MsgType.VAL:  # Synch / REnf: single VAL covers both
             meta.set_glb_volatile(msg.ts)
             meta.set_glb_durable(msg.ts)
+            self.obs_durable(msg.key, meta)
         elif msg.type is MsgType.VAL_C:
             meta.set_glb_volatile(msg.ts)
         elif msg.type is MsgType.VAL_P:
             meta.set_glb_durable(msg.ts)
+            self.obs_durable(msg.key, meta)
         if msg.type in (MsgType.VAL, MsgType.VAL_C):
             yield from self.host.sync_op()
             meta.release_rdlock(msg.ts)  # lines 42-43 (owner check inside)

@@ -178,6 +178,10 @@ class EngineBase:
         self.crashed = False
         #: Optional repro.trace.Tracer; attach via MinosCluster.attach_tracer.
         self.tracer = None
+        #: Optional repro.obs.Observability; attach via
+        #: MinosCluster.attach_obs.  Same no-op contract as the tracer:
+        #: ``None`` keeps every span/segment site at one attribute check.
+        self.obs = None
         #: Optional repro.faults.RetransmitPolicy — set by
         #: ``MinosCluster.enable_faults``.  ``None`` (the default) keeps
         #: every robustness mechanism off: no sequence stamping, no
@@ -199,6 +203,15 @@ class EngineBase:
         """Emit a protocol trace event if a tracer is attached."""
         if self.tracer is not None:
             self.tracer.emit(self.node_id, category, label, **details)
+
+    def obs_durable(self, key, meta) -> None:
+        """Record a ``glb_durableTS`` advance as an observability instant
+        (the differential suite's monotonicity evidence).  Call *after*
+        ``meta.set_glb_durable``: the recorded value is the post-advance
+        field, which must be non-decreasing per (node, key)."""
+        if self.obs is not None:
+            self.obs.instant(self.node_id, "durable_advance", key=key,
+                             ts=meta.glb_durable_ts)
 
     # -- robustness layer (active only under an installed fault plan) -------
 
@@ -286,7 +299,12 @@ class EngineBase:
             self.metrics.counters.inv_retransmits += 1
             self.trace("robust", "retransmit", type=msg.type.name,
                        write_id=txn.write_id, targets=targets)
+            if self.obs is not None:
+                self.obs.seg_begin(self.node_id, txn.write_id, "retransmit")
             yield from resend(msg, targets)
+            if self.obs is not None:
+                self.obs.seg_end(self.node_id, txn.write_id, "retransmit",
+                                 type=msg.type.name, targets=len(targets))
             delay = policy.next_timeout(delay)
         self.trace("robust", "retransmit give-up", type=msg.type.name,
                    write_id=txn.write_id)

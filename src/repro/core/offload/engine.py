@@ -25,7 +25,7 @@ from typing import Any, Dict, Optional, Tuple
 from repro.core.config import ProtocolConfig
 from repro.core.engine import (EngineBase, ReadResult, WriteResult,
                                WriteTxn, validate_model)
-from repro.core.messages import Message, MsgType
+from repro.core.messages import Message, MsgType, next_write_id
 from repro.core.metadata import RecordMeta
 from repro.core.model import DDPModel, Persistency
 from repro.core.scope import next_persist_id
@@ -91,6 +91,10 @@ class OffloadEngine(EngineBase):
         host LLC ("a DMA operation pushes the update to the host's LLC").
         The worker is held for the DMA; the LLC write overlaps."""
         meta = self.kv.meta(entry.key)
+        if self.obs is not None:
+            self.obs.seg(self.node_id, entry.op_id, "vfifo_residency",
+                         entry.enqueued_at, self.sim.now, lane="snic",
+                         skipped=entry.ts < meta.volatile_ts)
         if entry.ts < meta.volatile_ts:
             entry.skipped = True
             self.metrics.counters.vfifo_skips += 1
@@ -124,7 +128,13 @@ class OffloadEngine(EngineBase):
     def _durable_enqueue(self, entry: FifoEntry):
         """Enqueue into the dFIFO; the update is durable once this
         returns, so the logical NVM-log append happens here."""
+        if self.obs is not None:
+            self.obs.seg_begin(self.node_id, entry.op_id, "dfifo_enqueue",
+                              lane="snic")
         yield from self.snic.dfifo_enqueue(entry)
+        if self.obs is not None:
+            self.obs.seg_end(self.node_id, entry.op_id, "dfifo_enqueue",
+                             bytes=entry.size_bytes)
         self.kv.persist(entry.key, entry.value, entry.ts, scope=entry.scope)
         self.metrics.counters.persists += 1
         if self.tracer is not None:
@@ -152,9 +162,15 @@ class OffloadEngine(EngineBase):
             return (yield from self._client_write_eventual(key, value,
                                                            size=size))
         started = self.sim.now
+        # Minted unconditionally (not under the obs guard): attaching the
+        # recorder must not shift the write ids an unobserved run assigns.
+        write_id = next_write_id()
         self.metrics.counters.writes_started += 1
         if self.tracer is not None:
             self.trace("write", "start", key=key)
+        if self.obs is not None:
+            self.obs.op_begin(self.node_id, "write", write_id, key=key)
+            self.obs.seg_begin(self.node_id, write_id, "lock_acquire")
         if self.model.uses_scopes and scope is None:
             scope = 0
         meta = self.kv.meta(key)
@@ -164,28 +180,47 @@ class OffloadEngine(EngineBase):
         if meta.is_obsolete(ts):  # line 5
             yield from self.handle_obsolete(meta)
             self.metrics.counters.writes_obsolete += 1
+            if self.obs is not None:
+                self.obs.seg_end(self.node_id, write_id, "lock_acquire",
+                                 obsolete=True)
+                self.obs.op_end(self.node_id, write_id, status="obsolete")
             return WriteResult(key, ts, True, self.sim.now - started)
         yield self.snic.coherent_access()  # line 8: Snatch RDLock (CAS)
         if meta.snatch_rdlock(ts):
             self.metrics.counters.rdlock_snatches += 1
+        if self.obs is not None:
+            self.obs.seg_end(self.node_id, write_id, "lock_acquire")
         if meta.is_obsolete(ts):  # line 11 (obsolete after the snatch)
             yield from self.handle_obsolete(meta)  # line 12
             self.metrics.counters.writes_obsolete += 1
+            if self.obs is not None:
+                self.obs.op_end(self.node_id, write_id, status="obsolete")
             return WriteResult(key, ts, True, self.sim.now - started)
         msg = self.stamp(Message(type=MsgType.INV, key=key, ts=ts,
                                  src=self.node_id, value=value, scope=scope,
-                                 size=size))
+                                 size=size, write_id=write_id))
         txn = self.register_txn(key, ts, msg.write_id)
         txn.inv_deposited_at = self.sim.now
         if self.tracer is not None:
             self.trace("write", "INV deposited to SNIC", key=key, ts=ts,
                        batched=self.config.batching)
+        if self.obs is not None:
+            self.obs.seg_begin(self.node_id, write_id, "inv_fanout")
         yield from self._host_deposit_invs(msg)  # line 10: send INV(s) to SNIC
+        if self.obs is not None:
+            self.obs.seg_end(self.node_id, write_id, "inv_fanout",
+                             peers=len(self.peers),
+                             batched=self.config.batching)
+            self.obs.seg_begin(self.node_id, write_id, "snic_wait")
         yield txn.host_complete  # line 14: spin for the batched ACK
+        if self.obs is not None:
+            self.obs.seg_end(self.node_id, write_id, "snic_wait")
         latency = self.record_write_metrics(txn, started)
         if self.tracer is not None:
             self.trace("write", "complete", key=key, ts=ts,
                        latency_s=latency)
+        if self.obs is not None:
+            self.obs.op_end(self.node_id, write_id)
         return WriteResult(key, ts, False, latency)
 
     def _host_deposit_invs(self, msg: Message):
@@ -209,18 +244,28 @@ class OffloadEngine(EngineBase):
         metadata (§V-B.2)."""
         started = self.sim.now
         params = self.params
+        op_id = None
+        if self.obs is not None:
+            op_id = self.obs.begin_read(self.node_id, key)
         yield from self.host.compute(params.host.request_overhead)
         meta = self.kv.meta(key)
         if not self.model.is_eventual_consistency:
             yield self.snic.coherent_access()
             if not meta.rdlock_free:
                 self.metrics.counters.read_stalls += 1
+                if self.obs is not None:
+                    self.obs.seg_begin(self.node_id, op_id, "rdlock_wait")
                 yield from meta.wait_rdlock_free()
+                if self.obs is not None:
+                    self.obs.seg_end(self.node_id, op_id, "rdlock_wait")
         probes = self.kv.lookup_probes(key)
         yield from self.host.compute(params.host.kv_lookup * probes)
         yield self.host.llc.access(params.record_size)
         versioned = self.kv.volatile_read(key)
         latency = self.record_read_metrics(started)
+        if self.obs is not None:
+            self.obs.op_end(self.node_id, op_id,
+                            status="ok" if versioned is not None else "miss")
         if versioned is None:
             return ReadResult(key, None, NULL_TS, latency)
         return ReadResult(key, versioned.value, versioned.ts, latency)
@@ -231,19 +276,32 @@ class OffloadEngine(EngineBase):
             raise ProtocolError(
                 f"client_persist requires <Lin, Scope>, not {self.model}")
         started = self.sim.now
+        write_id = next_write_id()  # unconditional: see client_write
+        if self.obs is not None:
+            self.obs.op_begin(self.node_id, "persist", write_id, key=scope)
         yield from self.host.compute(self.params.host.request_overhead)
         persist_id = next_persist_id()
         msg = self.stamp(Message(type=MsgType.PERSIST, key=None, ts=NULL_TS,
                                  src=self.node_id, scope=scope,
-                                 persist_id=persist_id))
+                                 persist_id=persist_id, write_id=write_id))
         txn = self.register_txn(None, NULL_TS, msg.write_id)
+        if self.obs is not None:
+            self.obs.seg_begin(self.node_id, write_id, "inv_fanout")
         yield from self.host.compute(self.params.host.msg_send_cost)
         self.snic.host_deposit(Envelope(
             payload=msg, size_bytes=self.params.control_size,
             src_node=self.node_id, dests=list(self.peers)))
+        if self.obs is not None:
+            self.obs.seg_end(self.node_id, write_id, "inv_fanout",
+                             kind="PERSIST")
+            self.obs.seg_begin(self.node_id, write_id, "snic_wait")
         yield txn.host_complete
+        if self.obs is not None:
+            self.obs.seg_end(self.node_id, write_id, "snic_wait")
         self.metrics.counters.scope_persist_txns += 1
         self.metrics.persist_latency.add(self.sim.now - started)
+        if self.obs is not None:
+            self.obs.op_end(self.node_id, write_id)
         return self.sim.now - started
 
     def _host_dispatch_loop(self):
@@ -307,10 +365,12 @@ class OffloadEngine(EngineBase):
         host — there is nothing else to wait for."""
         meta = self.kv.meta(msg.key)
         size = self.record_size(msg)
-        entry = self.snic.make_entry(msg.key, msg.ts, msg.value, size)
+        entry = self.snic.make_entry(msg.key, msg.ts, msg.value, size,
+                                     op_id=msg.write_id)
         meta.set_volatile(msg.ts)
         yield from self.snic.vfifo_enqueue(entry)
-        dentry = self.snic.make_entry(msg.key, msg.ts, msg.value, size)
+        dentry = self.snic.make_entry(msg.key, msg.ts, msg.value, size,
+                                      op_id=msg.write_id)
         if self.model.persist_in_critical_path:  # <EC, Synch>
             yield from self._durable_enqueue(dentry)
         else:
@@ -327,10 +387,12 @@ class OffloadEngine(EngineBase):
         if meta.is_obsolete(msg.ts):
             return
         size = self.record_size(msg)
-        entry = self.snic.make_entry(msg.key, msg.ts, msg.value, size)
+        entry = self.snic.make_entry(msg.key, msg.ts, msg.value, size,
+                                     op_id=msg.write_id)
         meta.set_volatile(msg.ts)
         yield from self.snic.vfifo_enqueue(entry)
-        dentry = self.snic.make_entry(msg.key, msg.ts, msg.value, size)
+        dentry = self.snic.make_entry(msg.key, msg.ts, msg.value, size,
+                                      op_id=msg.write_id)
         if self.model.persist_in_critical_path:
             yield from self._durable_enqueue(dentry)
         else:
@@ -398,15 +460,21 @@ class OffloadEngine(EngineBase):
         meta = self.kv.meta(msg.key)
         size = self.record_size(msg)
         entry = self.snic.make_entry(msg.key, msg.ts, msg.value, size,
-                                     scope=msg.scope)
+                                     scope=msg.scope, op_id=msg.write_id)
         meta.set_volatile(msg.ts)  # the enqueue is the serialization point
+        if self.obs is not None:
+            self.obs.seg_begin(self.node_id, msg.write_id, "vfifo_enqueue",
+                               lane="snic")
         yield from self.snic.vfifo_enqueue(entry)
+        if self.obs is not None:
+            self.obs.seg_end(self.node_id, msg.write_id, "vfifo_enqueue",
+                             bytes=size)
         if self.tracer is not None:
             self.trace("snic", "vFIFO enqueued", key=msg.key, ts=msg.ts)
         if not txn.local_enqueued.triggered:
             txn.local_enqueued.succeed()
         dentry = self.snic.make_entry(msg.key, msg.ts, msg.value, size,
-                                      scope=msg.scope)
+                                      scope=msg.scope, op_id=msg.write_id)
         scope_event = (self.scope_tracker.register_write(msg.scope)
                        if msg.scope is not None else None)
         if self.model.persist_in_critical_path:  # Synch, Strict
@@ -463,32 +531,61 @@ class OffloadEngine(EngineBase):
                        name=self._notify_name)
         key, ts, scope = msg.key, msg.ts, msg.scope
         p = self.model.persistency
+        obs = self.obs
+        wid = txn.write_id
         if p is P.SYNCHRONOUS:
+            if obs is not None:
+                obs.seg_begin(self.node_id, wid, "ack_wait", lane="snic")
             yield self.sim.all_of([txn.all_acks, entry.drained])  # line 21
+            if obs is not None:
+                obs.seg_end(self.node_id, wid, "ack_wait", kind="ACK")
             meta.set_glb_volatile(ts)
             meta.set_glb_durable(ts)
+            self.obs_durable(key, meta)
             yield self.snic.coherent_access()
             meta.release_rdlock(ts)  # lines 22-23
             self._snic_send_vals(MsgType.VAL, key, ts, scope, txn.write_id)
         elif p is P.STRICT:
+            if obs is not None:
+                obs.seg_begin(self.node_id, wid, "ack_wait", lane="snic")
             yield self.sim.all_of([txn.all_ack_cs, entry.drained])
+            if obs is not None:
+                obs.seg_end(self.node_id, wid, "ack_wait", kind="ACK_C")
             meta.set_glb_volatile(ts)
             yield self.snic.coherent_access()
             meta.release_rdlock(ts)
             self._snic_send_vals(MsgType.VAL_C, key, ts, scope, txn.write_id)
+            if obs is not None:
+                obs.seg_begin(self.node_id, wid, "ack_wait", lane="snic")
             yield txn.all_ack_ps
+            if obs is not None:
+                obs.seg_end(self.node_id, wid, "ack_wait", kind="ACK_P")
             meta.set_glb_durable(ts)
+            self.obs_durable(key, meta)
             self._snic_send_vals(MsgType.VAL_P, key, ts, scope, txn.write_id)
         elif p is P.READ_ENFORCED:
+            if obs is not None:
+                obs.seg_begin(self.node_id, wid, "ack_wait", lane="snic")
             yield self.sim.all_of([txn.all_ack_cs, entry.drained])
+            if obs is not None:
+                obs.seg_end(self.node_id, wid, "ack_wait", kind="ACK_C")
             meta.set_glb_volatile(ts)
+            if obs is not None:
+                obs.seg_begin(self.node_id, wid, "ack_wait", lane="snic")
             yield self.sim.all_of([txn.all_ack_ps, txn.local_persist_done])
+            if obs is not None:
+                obs.seg_end(self.node_id, wid, "ack_wait", kind="ACK_P")
             meta.set_glb_durable(ts)
+            self.obs_durable(key, meta)
             yield self.snic.coherent_access()
             meta.release_rdlock(ts)
             self._snic_send_vals(MsgType.VAL, key, ts, scope, txn.write_id)
         else:  # EVENTUAL, SCOPE
+            if obs is not None:
+                obs.seg_begin(self.node_id, wid, "ack_wait", lane="snic")
             yield self.sim.all_of([txn.all_ack_cs, entry.drained])
+            if obs is not None:
+                obs.seg_end(self.node_id, wid, "ack_wait", kind="ACK_C")
             meta.set_glb_volatile(ts)
             yield self.snic.coherent_access()
             meta.release_rdlock(ts)
@@ -530,6 +627,11 @@ class OffloadEngine(EngineBase):
             self.metrics.counters.val_rebroadcasts += 1
             self.trace("robust", "VAL rebroadcast", type=msg.type.name,
                        write_id=msg.write_id)
+            if self.obs is not None:
+                # send_multi is a synchronous queue deposit, so this is an
+                # instant rather than a begin/end segment pair.
+                self.obs.instant(self.node_id, "val_rebroadcast",
+                                 op_id=msg.write_id, type=msg.type.name)
             self.snic.send_multi(list(self.peers), msg,
                                  self.params.control_size)
             delay = policy.next_timeout(delay)
@@ -545,10 +647,20 @@ class OffloadEngine(EngineBase):
         self.watch_retransmits(txn, msg, self._snic_resend)
         # Local scope durability: every scoped write dFIFO-enqueued, plus
         # the [PERSIST]sc marker itself.
+        if self.obs is not None:
+            self.obs.seg_begin(self.node_id, msg.write_id, "scope_wait",
+                               lane="snic")
         yield from self.scope_tracker.wait_scope_durable(msg.scope)
         yield self.sim.sleep(
             self.params.dfifo_write_time(self.params.control_size))
+        if self.obs is not None:
+            self.obs.seg_end(self.node_id, msg.write_id, "scope_wait")
+            self.obs.seg_begin(self.node_id, msg.write_id, "ack_wait",
+                               lane="snic")
         yield txn.all_ack_ps
+        if self.obs is not None:
+            self.obs.seg_end(self.node_id, msg.write_id, "ack_wait",
+                             kind="ACK_P")
         done = Message(type=MsgType.BATCHED_ACK, key=None, ts=NULL_TS,
                        src=self.node_id, scope=msg.scope,
                        persist_id=msg.persist_id, write_id=msg.write_id)
@@ -653,11 +765,17 @@ class OffloadEngine(EngineBase):
         handling_started = self.sim.now
         if self.tracer is not None:
             self.trace("follower", "INV received", key=msg.key, ts=msg.ts)
+        if self.obs is not None:
+            self.obs.seg_begin(self.node_id, msg.write_id, "inv_handle",
+                               lane="snic")
         meta = self.kv.meta(msg.key)
         if meta.is_obsolete(msg.ts):  # line 29
             yield from self._snic_ack_obsolete(meta, msg)
             self.metrics.record_follower_handling(
                 msg.write_id, self.sim.now - handling_started)
+            if self.obs is not None:
+                self.obs.seg_end(self.node_id, msg.write_id, "inv_handle",
+                                 obsolete=True)
             return
         yield self.snic.coherent_access()  # line 33: Snatch RDLock
         if meta.snatch_rdlock(msg.ts):
@@ -665,12 +783,18 @@ class OffloadEngine(EngineBase):
         # Line 35: enqueue to vFIFO (and dFIFO per the model's timing).
         size = self.record_size(msg)
         entry = self.snic.make_entry(msg.key, msg.ts, msg.value, size,
-                                     scope=msg.scope)
+                                     scope=msg.scope, op_id=msg.write_id)
         meta.set_volatile(msg.ts)
+        if self.obs is not None:
+            self.obs.seg_begin(self.node_id, msg.write_id, "vfifo_enqueue",
+                               lane="snic")
         yield from self.snic.vfifo_enqueue(entry)
+        if self.obs is not None:
+            self.obs.seg_end(self.node_id, msg.write_id, "vfifo_enqueue",
+                             bytes=size)
         self._pending_entries[(msg.key, msg.ts)] = entry
         dentry = self.snic.make_entry(msg.key, msg.ts, msg.value, size,
-                                      scope=msg.scope)
+                                      scope=msg.scope, op_id=msg.write_id)
         scope_event = (self.scope_tracker.register_write(msg.scope)
                        if msg.scope is not None else None)
         p = self.model.persistency
@@ -694,6 +818,8 @@ class OffloadEngine(EngineBase):
                 name=self._fdq_name)
         self.metrics.record_follower_handling(
             msg.write_id, self.sim.now - handling_started)
+        if self.obs is not None:
+            self.obs.seg_end(self.node_id, msg.write_id, "inv_handle")
 
     def _renf_follower_durable(self, msg: Message, dentry: FifoEntry):
         yield from self._durable_enqueue(dentry)
@@ -716,10 +842,12 @@ class OffloadEngine(EngineBase):
             meta.set_glb_volatile(msg.ts)
             if msg.type is MsgType.VAL:
                 meta.set_glb_durable(msg.ts)
+                self.obs_durable(msg.key, meta)
             yield self.snic.coherent_access()
             meta.release_rdlock(msg.ts)  # lines 41-42
         elif msg.type is MsgType.VAL_P:
             meta.set_glb_durable(msg.ts)
+            self.obs_durable(msg.key, meta)
 
     def _snic_follower_persist(self, msg: Message):
         """[PERSIST]sc at a follower SNIC: scope writes are durable once

@@ -68,6 +68,11 @@ class FaultInjector:
         #: first-class trace categories.  Guarded at every emit site, so
         #: tracing off costs one attribute check.
         self.tracer = None
+        #: Optional :class:`repro.obs.Observability`; set by
+        #: ``MinosCluster.attach_obs`` / ``enable_faults``.  Fault
+        #: decisions become trace instants plus fabric counters; guarded
+        #: at every emit site like the tracer.
+        self.obs = None
         self._rngs: Dict[Tuple[str, str], random.Random] = {}
 
     # -- determinism plumbing ------------------------------------------------
@@ -85,6 +90,12 @@ class FaultInjector:
             self.tracer.emit(node if node is not None else -1, "fault",
                              label, src=packet.src, dst=packet.dst,
                              **details)
+        if self.obs is not None:
+            write_id = getattr(packet.payload, "write_id", None)
+            self.obs.fault(node if node is not None else -1,
+                           label.replace(" ", "_"), src=packet.src,
+                           dst=packet.dst, kind=packet.kind,
+                           write_id=write_id, **details)
 
     # -- the Port._deliver hook ------------------------------------------------
 
@@ -149,6 +160,8 @@ class FaultInjector:
         cluster.crash(window.node)
         if self.tracer is not None:
             self.tracer.emit(window.node, "fault", "crash")
+        if self.obs is not None:
+            self.obs.fault(window.node, "crash")
         if window.restore_at is None:
             return
         yield self.sim.timeout(window.restore_at - self.sim.now)
@@ -158,3 +171,5 @@ class FaultInjector:
             cluster.restore(window.node)
         if self.tracer is not None:
             self.tracer.emit(window.node, "fault", "restart")
+        if self.obs is not None:
+            self.obs.fault(window.node, "restart")

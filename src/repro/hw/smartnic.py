@@ -48,6 +48,12 @@ class FifoEntry:
     drained: Event = None  # type: ignore[assignment]
     skipped: bool = False
     entry_id: int = field(default_factory=lambda: next(_entry_ids))
+    #: Protocol write id the entry belongs to (observability correlation).
+    op_id: Any = None
+    #: Simulation time of the enqueue; stamped unconditionally in
+    #: :meth:`SmartNic.make_entry` so FIFO-residency segments can be
+    #: recorded at drain time without observer-dependent state.
+    enqueued_at: float = -1.0
 
 
 ApplyFn = Callable[[FifoEntry], Generator]
@@ -103,7 +109,17 @@ class SmartNic:
         #: Crash flag: while halted the SNIC consumes and drops traffic
         #: instead of transmitting it (see :meth:`halt`).
         self.halted = False
+        #: Optional repro.obs.Observability (same no-op contract as the
+        #: engine's tracer); set via :meth:`attach_obs`.
+        self.obs = None
         sim.spawn(self._tx_loop(), name=f"{self.endpoint}.tx")
+
+    def attach_obs(self, obs) -> None:
+        """Attach an observability recorder to the SNIC and its PCIe
+        ports (so DMA / host-deposit traffic is accounted)."""
+        self.obs = obs
+        self._pcie_up.obs = obs
+        self._pcie_down.obs = obs
 
     # -- compute & coherence ---------------------------------------------------
 
@@ -209,9 +225,11 @@ class SmartNic:
     # -- vFIFO / dFIFO ------------------------------------------------------------
 
     def make_entry(self, key: Any, ts: Any, value: Any, size_bytes: int,
-                   scope: int | None = None) -> FifoEntry:
+                   scope: int | None = None,
+                   op_id: Any = None) -> FifoEntry:
         entry = FifoEntry(key=key, ts=ts, value=value,
-                          size_bytes=size_bytes, scope=scope)
+                          size_bytes=size_bytes, scope=scope, op_id=op_id,
+                          enqueued_at=self.sim.now)
         entry.written = Event(self.sim)
         entry.drained = Event(self.sim)
         return entry
@@ -223,6 +241,9 @@ class SmartNic:
         465 ns/KB write latency (Table III).
         """
         yield self.vfifo.put(entry)
+        if self.obs is not None:
+            self.obs.gauge(self.node_id, "snic.vfifo.depth",
+                           float(len(self.vfifo)))
         yield self.sim.sleep(self.params.vfifo_write_time(entry.size_bytes))
         entry.written.succeed()
 
@@ -233,6 +254,9 @@ class SmartNic:
         SNIC), so nothing waits for the background drain to host NVM.
         """
         yield self.dfifo.put(entry)
+        if self.obs is not None:
+            self.obs.gauge(self.node_id, "snic.dfifo.depth",
+                           float(len(self.dfifo)))
         yield self.sim.sleep(self.params.dfifo_write_time(entry.size_bytes))
         entry.written.succeed()
 

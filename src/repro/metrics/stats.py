@@ -37,11 +37,21 @@ EMPTY_SUMMARY = Summary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
 
 
 def percentile(sorted_samples: List[float], fraction: float) -> float:
-    """Nearest-rank-with-interpolation percentile of pre-sorted samples."""
+    """Nearest-rank-with-interpolation percentile of pre-sorted samples.
+
+    *fraction* is clamped to [0, 1]: a negative fraction used to index
+    from the wrong end (``rank`` went negative, silently returning a
+    near-maximum sample) and a fraction above 1 raised ``IndexError``.
+    Out-of-range requests now answer with the exact extremes.
+    """
     if not sorted_samples:
         return 0.0
     if len(sorted_samples) == 1:
         return sorted_samples[0]
+    if fraction <= 0.0:
+        return sorted_samples[0]
+    if fraction >= 1.0:
+        return sorted_samples[-1]
     rank = fraction * (len(sorted_samples) - 1)
     low = math.floor(rank)
     high = math.ceil(rank)

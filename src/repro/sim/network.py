@@ -78,7 +78,7 @@ class Port:
 
     __slots__ = ("sim", "latency", "bandwidth", "gap", "name",
                  "_busy_until", "packets_sent", "bytes_sent",
-                 "fault_injector")
+                 "fault_injector", "obs")
 
     def __init__(self, sim: Simulator, latency_s: float,
                  bandwidth_bps: float, gap_s: float = 0.0,
@@ -98,6 +98,9 @@ class Port:
         #: Optional :class:`repro.faults.FaultInjector`.  ``None`` (the
         #: default) keeps delivery on the exact fault-free fast path.
         self.fault_injector = None
+        #: Optional :class:`repro.obs.Observability` for per-packet fabric
+        #: counters; same no-op-when-``None`` contract as the injector.
+        self.obs = None
 
     # -- internals ----------------------------------------------------------
 
@@ -142,6 +145,8 @@ class Port:
         done, wait = self._claim(packet.size_bytes)
         self.packets_sent += 1
         self.bytes_sent += packet.size_bytes
+        if self.obs is not None:
+            self.obs.net_packet(self.name, packet.kind, packet.size_bytes)
         self._deliver(packet, mailbox, done + self.latency)
         return self.sim.sleep(wait, value=packet)
 
@@ -166,6 +171,8 @@ class Port:
         done, wait = self._claim(size_bytes)
         self.packets_sent += 1
         self.bytes_sent += size_bytes
+        if self.obs is not None:
+            self.obs.net_packet(self.name, "broadcast", size_bytes)
         for packet, mailbox in pairs:
             packet.sent_at = self.sim.now
             self._deliver(packet, mailbox, done + self.latency)
@@ -181,13 +188,14 @@ class Network:
     network hop are just two Ports with different parameters.
     """
 
-    __slots__ = ("sim", "_mailboxes", "_ports", "_fault_injector")
+    __slots__ = ("sim", "_mailboxes", "_ports", "_fault_injector", "_obs")
 
     def __init__(self, sim: Simulator) -> None:
         self.sim = sim
         self._mailboxes: Dict[str, Mailbox] = {}
         self._ports: Dict[str, Port] = {}
         self._fault_injector = None
+        self._obs = None
 
     def add_endpoint(self, name: str, latency_s: float, bandwidth_bps: float,
                      gap_s: float = 0.0) -> Mailbox:
@@ -198,6 +206,7 @@ class Network:
         self._mailboxes[name] = mailbox
         port = Port(self.sim, latency_s, bandwidth_bps, gap_s, name=name)
         port.fault_injector = self._fault_injector
+        port.obs = self._obs
         self._ports[name] = port
         return mailbox
 
@@ -207,6 +216,13 @@ class Network:
         self._fault_injector = injector
         for port in self._ports.values():
             port.fault_injector = injector
+
+    def install_obs(self, obs) -> None:
+        """Attach an observability recorder to every fabric port (present
+        and future).  Pass ``None`` to detach."""
+        self._obs = obs
+        for port in self._ports.values():
+            port.obs = obs
 
     def mailbox(self, name: str) -> Mailbox:
         return self._mailboxes[name]

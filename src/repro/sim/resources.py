@@ -134,6 +134,10 @@ class BoundedBuffer:
     def is_full(self) -> bool:
         return self.capacity is not None and len(self._items) >= self.capacity
 
+    def __len__(self) -> int:
+        """Number of items currently buffered (excludes blocked putters)."""
+        return len(self._items)
+
     def put(self, item: Any) -> Event:
         """An event that fires once *item* has entered the buffer."""
         event = Event(self.sim)

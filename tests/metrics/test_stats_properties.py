@@ -1,0 +1,135 @@
+"""Property-based tests for the statistics kernels.
+
+Two layers share one percentile vocabulary: the exact
+:func:`repro.metrics.stats.percentile` (LatencyRecorder summaries) and
+the bucketed :meth:`repro.obs.LogHistogram.percentile_estimate`.  The
+properties pinned here are the ones the observability docs promise:
+
+* ``percentile`` is clamped (no negative-rank indexing from the wrong
+  end, no ``IndexError`` past 1), monotone in the fraction, and always
+  inside ``[min, max]`` of the samples;
+* a :class:`LogHistogram` estimate is within the histogram's growth
+  factor of the *exact* sample at the same nearest rank — the
+  documented accuracy contract of the log-bucketed representation.
+"""
+
+import math
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.metrics.stats import LatencyRecorder, percentile  # noqa: E402
+from repro.obs import LogHistogram  # noqa: E402
+
+#: Latency-shaped samples: positive, spanning ns..s like the simulator's.
+latencies = st.floats(min_value=1e-9, max_value=10.0,
+                      allow_nan=False, allow_infinity=False)
+sample_lists = st.lists(latencies, min_size=1, max_size=200)
+fractions = st.floats(min_value=-0.5, max_value=1.5,
+                      allow_nan=False, allow_infinity=False)
+
+
+class TestPercentileProperties:
+    @given(samples=sample_lists, fraction=fractions)
+    def test_result_is_within_the_sample_range(self, samples, fraction):
+        ordered = sorted(samples)
+        value = percentile(ordered, fraction)
+        assert ordered[0] <= value <= ordered[-1]
+
+    @given(samples=sample_lists,
+           fraction_pairs=st.tuples(fractions, fractions))
+    def test_monotone_in_the_fraction(self, samples, fraction_pairs):
+        low, high = sorted(fraction_pairs)
+        ordered = sorted(samples)
+        assert percentile(ordered, low) <= percentile(ordered, high)
+
+    @given(samples=sample_lists)
+    def test_extremes_are_exact(self, samples):
+        ordered = sorted(samples)
+        assert percentile(ordered, 0.0) == ordered[0]
+        assert percentile(ordered, 1.0) == ordered[-1]
+        # The clamp: out-of-range fractions answer with the extremes
+        # (the old code indexed from the wrong end / raised IndexError).
+        assert percentile(ordered, -3.0) == ordered[0]
+        assert percentile(ordered, 7.0) == ordered[-1]
+
+    @given(value=latencies, count=st.integers(min_value=1, max_value=9),
+           fraction=fractions)
+    def test_constant_samples_are_a_fixed_point(self, value, count,
+                                                fraction):
+        assert percentile([value] * count, fraction) == value
+
+    def test_empty_samples_answer_zero(self):
+        assert percentile([], 0.5) == 0.0
+
+    @given(samples=sample_lists)
+    def test_summary_orders_its_percentiles(self, samples):
+        recorder = LatencyRecorder()
+        for sample in samples:
+            recorder.add(sample)
+        summary = recorder.summary()
+        assert summary.count == len(samples)
+        assert summary.minimum <= summary.p50 <= summary.p95 \
+            <= summary.p99 <= summary.maximum
+        # The mean is a float sum/divide, so give it 1-ULP-scale slack:
+        # sum([x, x, x]) / 3 can land just outside [x, x].
+        slack = 1e-12 * max(abs(summary.minimum), abs(summary.maximum))
+        assert summary.minimum - slack <= summary.mean \
+            <= summary.maximum + slack
+
+
+class TestLogHistogramProperties:
+    @given(samples=sample_lists,
+           fraction=st.floats(min_value=0.01, max_value=0.99))
+    @settings(max_examples=200)
+    def test_estimate_within_growth_of_nearest_rank(self, samples,
+                                                    fraction):
+        """The documented accuracy bound: the estimate and the exact
+        nearest-rank sample lie in (or at the edge of) the same
+        geometric bucket, so their ratio is within the growth factor."""
+        histogram = LogHistogram()
+        for sample in samples:
+            histogram.add(sample)
+        ordered = sorted(samples)
+        rank = max(1, math.ceil(fraction * len(ordered)))
+        exact = ordered[rank - 1]
+        estimate = histogram.percentile_estimate(fraction)
+        growth = histogram.growth * (1 + 1e-12)  # float-division slack
+        assert exact / growth <= estimate <= exact * growth
+
+    @given(samples=sample_lists)
+    def test_exact_fields_match_the_samples(self, samples):
+        histogram = LogHistogram()
+        for sample in samples:
+            histogram.add(sample)
+        assert histogram.count == len(samples)
+        assert histogram.minimum == min(samples)
+        assert histogram.maximum == max(samples)
+        assert histogram.total == pytest.approx(math.fsum(samples))
+
+    @given(samples=sample_lists, fraction=fractions)
+    def test_estimate_is_inside_the_observed_range(self, samples,
+                                                   fraction):
+        histogram = LogHistogram()
+        for sample in samples:
+            histogram.add(sample)
+        estimate = histogram.percentile_estimate(fraction)
+        assert histogram.minimum <= estimate <= histogram.maximum
+
+    @given(samples=sample_lists)
+    def test_bucket_count_conservation(self, samples):
+        histogram = LogHistogram()
+        for sample in samples:
+            histogram.add(sample)
+        assert sum(histogram.buckets.values()) == len(samples)
+
+    @given(value=latencies)
+    def test_every_sample_is_inside_its_bucket_bounds(self, value):
+        histogram = LogHistogram()
+        index = histogram.bucket_index(value)
+        low, high = histogram.bucket_bounds(index)
+        slack = 1 + 1e-9  # log/pow round-trip tolerance at the edges
+        assert low / slack <= value <= high * slack

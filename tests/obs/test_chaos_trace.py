@@ -1,0 +1,80 @@
+"""Chaos-trace regression: a lossy run exports a valid Perfetto trace.
+
+The retransmission layer (PR 1) and the observability layer meet here:
+under packet loss the coordinator's retransmit timers fire, and each
+resend must show up as a ``retransmit`` segment correlated — by protocol
+``write_id`` — with the span of the write it repaired.  This pins the
+end-to-end acceptance criterion: every committed write has one span with
+at least three protocol-phase segments, and fault/retransmit activity is
+attributable to specific operations, not just global counters.
+"""
+
+import pytest
+
+from repro.api import (LIN_SYNCH, MINOS_B, MINOS_O, MinosCluster,
+                       YcsbWorkload, validate_chrome_trace,
+                       write_chrome_trace)
+from repro.faults import FaultPlan, run_chaos
+from repro.hw.params import MachineParams
+
+ARCHES = [MINOS_B, MINOS_O]
+
+
+def lossy_run(config, drop=0.05, seed=11):
+    cluster = MinosCluster(model=LIN_SYNCH, config=config,
+                           params=MachineParams(nodes=3))
+    obs = cluster.attach_obs()
+    plan = FaultPlan.lossy(seed=seed, drop=drop)
+    workload = YcsbWorkload(records=20, requests_per_client=12,
+                            write_fraction=0.8, seed=seed)
+    result = run_chaos(cluster, plan, workload, clients_per_node=1)
+    assert result.ok, result.violations
+    return cluster, obs, result
+
+
+class TestChaosTrace:
+    @pytest.mark.parametrize("config", ARCHES, ids=lambda c: c.name)
+    def test_lossy_run_exports_valid_trace(self, config, tmp_path):
+        _, obs, _ = lossy_run(config)
+        payload = write_chrome_trace(obs, str(tmp_path / "chaos.json"))
+        assert validate_chrome_trace(payload) == []
+        assert (tmp_path / "chaos.json").is_file()
+
+    @pytest.mark.parametrize("config", ARCHES, ids=lambda c: c.name)
+    def test_committed_writes_have_phase_segments(self, config):
+        _, obs, _ = lossy_run(config)
+        committed = obs.spans_for(kind="write", status="ok")
+        assert committed, "chaos run committed no writes"
+        for span in committed:
+            segments = obs.segments_for(op_id=span.op_id)
+            assert len(segments) >= 3, \
+                f"write {span.op_id} has only {segments}"
+            # Cross-node correlation: the coordinator's segments and at
+            # least one other node's share the op id.
+            nodes = {segment.node for segment in segments}
+            assert span.node in nodes
+            assert len(nodes) >= 2, \
+                f"write {span.op_id} left no follower/SNIC segments"
+
+    def test_retransmits_correlate_with_spans(self):
+        cluster, obs, _ = lossy_run(MINOS_B, drop=0.12, seed=5)
+        assert cluster.metrics.counters.inv_retransmits > 0, \
+            "loss rate too low to exercise retransmission"
+        retransmits = obs.segments_for(phase="retransmit")
+        assert retransmits, "retransmissions happened but left no segments"
+        for segment in retransmits:
+            span = obs.spans.get(segment.op_id)
+            assert span is not None, \
+                f"retransmit segment {segment} matches no span"
+            assert span.kind in ("write", "persist")
+            assert segment.attr("type") in ("INV", "INV_EC")
+            assert segment.attr("targets") >= 1
+
+    def test_fault_instants_name_injected_faults(self):
+        _, obs, result = lossy_run(MINOS_B, drop=0.10, seed=5)
+        drops = obs.instants_for(name="fault.drop")
+        assert len(drops) == result.fault_counters.dropped
+        # The fabric-wide fault counter agrees with the injector's.
+        fabric = obs.registry(-1)
+        assert fabric.counter("faults.drop") == \
+            result.fault_counters.dropped

@@ -1,0 +1,143 @@
+"""Exporter tests: Chrome trace structure, JSONL round-trip, validator."""
+
+import json
+
+from repro.obs import (Observability, chrome_trace, validate_chrome_trace,
+                       write_chrome_trace, write_jsonl)
+from repro.obs.export import jsonl_events
+from repro.obs.spans import LANE_SNIC
+
+
+class FakeSim:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+
+def populated_obs():
+    sim = FakeSim()
+    obs = Observability(sim)
+    obs.op_begin(0, "write", 11, key="alpha")
+    obs.seg_begin(0, 11, "ack_wait")
+    sim.now = 2e-6
+    obs.seg_end(0, 11, "ack_wait", kind="ACK")
+    obs.seg(1, 11, "vfifo_residency", 1e-6, 2e-6, lane=LANE_SNIC)
+    obs.instant(1, "durable_advance", op_id=11, ts=(1, 0))
+    obs.gauge(1, "snic.vfifo.depth", 3.0)
+    sim.now = 3e-6
+    obs.op_end(0, 11, status="ok")
+    return obs
+
+
+class TestChromeTrace:
+    def test_payload_validates_and_serializes(self):
+        payload = chrome_trace(populated_obs())
+        assert validate_chrome_trace(payload) == []
+        json.dumps(payload)
+
+    def test_span_becomes_complete_event_in_microseconds(self):
+        payload = chrome_trace(populated_obs())
+        (event,) = [e for e in payload["traceEvents"]
+                    if e["ph"] == "X" and e["name"] == "write alpha"]
+        assert event["ts"] == 0.0
+        assert event["dur"] == 3.0  # 3 us
+        assert event["pid"] == 0
+        assert event["args"]["op_id"] == 11
+        assert event["args"]["status"] == "ok"
+
+    def test_segments_carry_op_id_and_lane_tid(self):
+        payload = chrome_trace(populated_obs())
+        phases = {e["name"]: e for e in payload["traceEvents"]
+                  if e["ph"] == "X" and "phase" in e.get("cat", "")}
+        assert phases["ack_wait"]["args"]["op_id"] == 11
+        assert phases["ack_wait"]["tid"] == 1
+        assert phases["vfifo_residency"]["tid"] == 2  # snic lane
+
+    def test_metadata_names_every_process_and_lane(self):
+        payload = chrome_trace(populated_obs())
+        metadata = [e for e in payload["traceEvents"] if e["ph"] == "M"]
+        process_names = {e["pid"]: e["args"]["name"] for e in metadata
+                         if e["name"] == "process_name"}
+        assert process_names[0] == "node0" and process_names[1] == "node1"
+        lanes = {(e["pid"], e["args"]["name"]) for e in metadata
+                 if e["name"] == "thread_name"}
+        assert (1, "snic") in lanes and (0, "phases") in lanes
+
+    def test_gauge_becomes_counter_track(self):
+        payload = chrome_trace(populated_obs())
+        (counter,) = [e for e in payload["traceEvents"] if e["ph"] == "C"]
+        assert counter["name"] == "snic.vfifo.depth"
+        assert counter["args"] == {"snic.vfifo.depth": 3.0}
+
+    def test_open_span_exports_with_zero_duration(self):
+        sim = FakeSim()
+        obs = Observability(sim)
+        obs.op_begin(0, "write", 1)
+        payload = chrome_trace(obs)
+        assert validate_chrome_trace(payload) == []
+        (event,) = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        assert event["dur"] == 0.0 and event["args"]["status"] == "open"
+
+    def test_write_returns_validatable_payload(self, tmp_path):
+        path = tmp_path / "trace.json"
+        payload = write_chrome_trace(populated_obs(), str(path))
+        assert validate_chrome_trace(payload) == []
+        on_disk = json.loads(path.read_text())
+        assert on_disk == json.loads(json.dumps(payload))
+
+
+class TestValidator:
+    def test_rejects_non_object(self):
+        assert validate_chrome_trace([1, 2]) != []
+        assert validate_chrome_trace({"events": []}) != []
+
+    def test_flags_unknown_phase_and_missing_fields(self):
+        payload = {"traceEvents": [
+            {"ph": "Q", "name": "x", "pid": 0},
+            {"ph": "X", "pid": 0, "ts": 0.0, "dur": 1.0},
+            {"ph": "X", "name": "y", "pid": 0, "ts": "bad", "dur": -1.0},
+            {"ph": "C", "name": "c", "pid": 0, "ts": 0.0, "args": None},
+            "not-an-event",
+        ]}
+        problems = validate_chrome_trace(payload)
+        assert any("unknown phase" in p for p in problems)
+        assert any("missing 'name'" in p for p in problems)
+        assert any("non-numeric 'ts'" in p for p in problems)
+        assert any("negative 'dur'" in p for p in problems)
+        assert any("'args' dict" in p for p in problems)
+        assert any("must be an object" in p for p in problems)
+
+    def test_accepts_empty_trace(self):
+        assert validate_chrome_trace({"traceEvents": []}) == []
+
+
+class TestJsonl:
+    def test_stream_round_trips(self):
+        obs = populated_obs()
+        lines = [json.loads(line) for line in jsonl_events(obs)]
+        header = lines[0]
+        assert header["type"] == "meta"
+        assert header["format"] == "repro-obs/1"
+        by_type = {}
+        for line in lines[1:]:
+            by_type.setdefault(line["type"], []).append(line)
+        assert len(by_type["span"]) == header["spans"] == 1
+        assert len(by_type["segment"]) == header["segments"] == 2
+        assert len(by_type["instant"]) == header["instants"] == 1
+        (span,) = by_type["span"]
+        assert span["op_id"] == 11 and span["status"] == "ok"
+        # Segment attrs survive as JSON objects.
+        phases = {s["phase"]: s for s in by_type["segment"]}
+        assert phases["ack_wait"]["attrs"] == {"kind": "ACK"}
+        # Non-JSON-native attr values are stringified, not dropped.
+        (instant,) = by_type["instant"]
+        assert instant["attrs"]["ts"] == "(1, 0)"
+        nodes = {m["node"] for m in by_type["metrics"]}
+        assert {0, 1} <= nodes
+
+    def test_write_jsonl_counts_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        count = write_jsonl(populated_obs(), str(path))
+        lines = path.read_text().splitlines()
+        assert len(lines) == count
+        for line in lines:
+            json.loads(line)

@@ -1,0 +1,127 @@
+"""Unit tests for the metrics registry and the log-bucketed histogram."""
+
+import math
+
+import pytest
+
+from repro.obs import LogHistogram, MetricsRegistry
+
+
+class TestLogHistogramBuckets:
+    def test_floor_bucket_catches_tiny_samples(self):
+        histogram = LogHistogram()
+        assert histogram.bucket_index(0.0) == 0
+        assert histogram.bucket_index(histogram.floor) == 0
+        assert histogram.bucket_index(histogram.floor * 1.01) == 1
+
+    def test_bucket_bounds_tile_the_positive_axis(self):
+        histogram = LogHistogram()
+        previous_high = histogram.bucket_bounds(0)[1]
+        for index in range(1, 40):
+            low, high = histogram.bucket_bounds(index)
+            assert low == previous_high
+            assert high == pytest.approx(low * histogram.growth)
+            previous_high = high
+
+    def test_samples_land_inside_their_buckets(self):
+        histogram = LogHistogram()
+        for exponent in range(-9, 1):
+            value = 10.0 ** exponent
+            low, high = histogram.bucket_bounds(
+                histogram.bucket_index(value))
+            assert low < value <= high or (low == 0.0 and value <= high)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            LogHistogram(growth=1.0)
+        with pytest.raises(ValueError):
+            LogHistogram(floor=0.0)
+
+    def test_negative_samples_are_rejected(self):
+        with pytest.raises(ValueError):
+            LogHistogram().add(-1e-9)
+
+
+class TestLogHistogramEstimates:
+    def test_exact_fields(self):
+        histogram = LogHistogram()
+        for value in (1e-6, 2e-6, 3e-6, 4e-6):
+            histogram.add(value)
+        assert histogram.count == 4
+        assert histogram.minimum == 1e-6
+        assert histogram.maximum == 4e-6
+        assert histogram.total == pytest.approx(1e-5)
+        assert histogram.summary().mean == pytest.approx(2.5e-6)
+
+    def test_empty_summary(self):
+        histogram = LogHistogram()
+        assert histogram.percentile_estimate(0.5) == 0.0
+        assert histogram.summary().count == 0
+
+    def test_fraction_clamp_mirrors_percentile(self):
+        histogram = LogHistogram()
+        for value in (1e-6, 5e-6, 9e-6):
+            histogram.add(value)
+        assert histogram.percentile_estimate(-0.5) == histogram.minimum
+        assert histogram.percentile_estimate(0.0) == histogram.minimum
+        assert histogram.percentile_estimate(1.0) == histogram.maximum
+        assert histogram.percentile_estimate(2.0) == histogram.maximum
+
+    def test_estimate_within_growth_factor_of_exact(self):
+        histogram = LogHistogram()
+        samples = sorted(((i * 37) % 100 + 1) * 1e-6 for i in range(100))
+        for value in samples:
+            histogram.add(value)
+        for fraction in (0.1, 0.5, 0.9, 0.99):
+            rank = max(1, math.ceil(fraction * len(samples)))
+            exact = samples[rank - 1]
+            estimate = histogram.percentile_estimate(fraction)
+            assert exact / histogram.growth <= estimate \
+                <= exact * histogram.growth
+
+    def test_single_sample_estimates_are_the_sample(self):
+        histogram = LogHistogram()
+        histogram.add(42e-6)
+        for fraction in (0.01, 0.5, 0.99):
+            assert histogram.percentile_estimate(fraction) == \
+                pytest.approx(42e-6, rel=histogram.growth - 1.0)
+            # The clamp to [min, max] makes it exact here:
+            assert histogram.minimum <= \
+                histogram.percentile_estimate(fraction) <= histogram.maximum
+
+
+class TestMetricsRegistry:
+    def test_counters(self):
+        registry = MetricsRegistry(0)
+        registry.inc("writes")
+        registry.inc("writes", 4)
+        assert registry.counter("writes") == 5
+        assert registry.counter("absent") == 0
+
+    def test_gauges_keep_sample_order(self):
+        registry = MetricsRegistry(0)
+        registry.gauge("depth", 1.0, 3.0)
+        registry.gauge("depth", 2.0, 1.0)
+        assert registry.gauge_samples("depth") == [(1.0, 3.0), (2.0, 1.0)]
+        assert registry.gauge_names() == ["depth"]
+        assert registry.gauge_samples("absent") == []
+
+    def test_histograms_are_created_on_demand(self):
+        registry = MetricsRegistry(0)
+        registry.observe("latency", 1e-6)
+        registry.observe("latency", 2e-6)
+        assert registry.histogram("latency").count == 2
+        assert registry.histogram_names() == ["latency"]
+
+    def test_to_dict_shape(self):
+        import json
+
+        registry = MetricsRegistry(3)
+        registry.inc("ops")
+        registry.gauge("depth", 1.0, 2.0)
+        registry.observe("latency", 1e-6)
+        payload = registry.to_dict()
+        json.dumps(payload)
+        assert payload["counters"] == {"ops": 1}
+        assert payload["gauges"]["depth"] == {"samples": 1, "last": 2.0}
+        assert payload["histograms"]["latency"]["count"] == 1

@@ -1,0 +1,161 @@
+"""Unit tests for the span/segment data model and the recorder."""
+
+from repro.obs import Observability
+from repro.obs.spans import (Instant, LANE_PHASES, LANE_SNIC, Segment,
+                             Span, freeze_attrs)
+
+
+class FakeSim:
+    """Just enough simulator for the recorder: a settable clock."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+
+def make_obs():
+    sim = FakeSim()
+    return Observability(sim), sim
+
+
+class TestRecords:
+    def test_span_duration_and_finished(self):
+        span = Span(op_id=1, node=0, kind="write", key="k", start=1.0)
+        assert not span.finished and span.duration == 0.0
+        span.end = 3.5
+        span.status = "ok"
+        assert span.finished and span.duration == 2.5
+
+    def test_segment_duration_and_attr_lookup(self):
+        segment = Segment(op_id=1, node=2, phase="ack_wait", start=1.0,
+                          end=4.0, attrs=freeze_attrs({"kind": "ACK"}))
+        assert segment.duration == 3.0
+        assert segment.attr("kind") == "ACK"
+        assert segment.attr("absent", "dflt") == "dflt"
+
+    def test_instant_attr_lookup(self):
+        instant = Instant(time=1.0, node=0, name="fault.drop",
+                          attrs=freeze_attrs({"dst": 2}))
+        assert instant.attr("dst") == 2
+
+    def test_freeze_attrs_is_order_independent(self):
+        assert freeze_attrs({"b": 2, "a": 1}) == \
+            freeze_attrs({"a": 1, "b": 2})
+
+
+class TestSpanLifecycle:
+    def test_begin_end_records_latency(self):
+        obs, sim = make_obs()
+        obs.op_begin(0, "write", 7, key="k")
+        sim.now = 2e-6
+        obs.op_end(0, 7, status="ok")
+        (span,) = obs.spans_for(kind="write")
+        assert span.status == "ok" and span.duration == 2e-6
+        registry = obs.registry(0)
+        assert registry.counter("ops.write.started") == 1
+        assert registry.counter("ops.write.ok") == 1
+        assert registry.histogram("latency.write").count == 1
+
+    def test_none_op_id_is_ignored(self):
+        obs, _ = make_obs()
+        assert obs.op_begin(0, "write", None) is None
+        assert len(obs.spans) == 0
+
+    def test_end_of_unknown_op_is_ignored(self):
+        obs, _ = make_obs()
+        obs.op_end(0, 999)  # must not raise
+        assert len(obs.spans) == 0
+
+    def test_double_end_keeps_first_status(self):
+        obs, sim = make_obs()
+        obs.op_begin(0, "write", 1)
+        sim.now = 1.0
+        obs.op_end(0, 1, status="obsolete")
+        sim.now = 2.0
+        obs.op_end(0, 1, status="ok")
+        assert obs.spans[1].status == "obsolete"
+        assert obs.spans[1].end == 1.0
+
+    def test_read_ids_are_negative_and_unique(self):
+        obs, _ = make_obs()
+        first = obs.begin_read(0, "k")
+        second = obs.begin_read(1, "k")
+        assert first < 0 and second < 0 and first != second
+        assert obs.spans[first].kind == "read"
+
+
+class TestSegments:
+    def test_begin_end_pair(self):
+        obs, sim = make_obs()
+        obs.seg_begin(1, 5, "ack_wait")
+        sim.now = 3e-6
+        obs.seg_end(1, 5, "ack_wait", kind="ACK")
+        (segment,) = obs.segments_for(op_id=5)
+        assert segment.phase == "ack_wait"
+        assert segment.duration == 3e-6
+        assert segment.lane == LANE_PHASES
+        assert segment.attr("kind") == "ACK"
+        assert obs.open_segments() == []
+
+    def test_end_without_begin_is_ignored(self):
+        obs, _ = make_obs()
+        obs.seg_end(0, 1, "never_begun")
+        assert obs.segments == []
+
+    def test_direct_seg_with_explicit_interval(self):
+        obs, _ = make_obs()
+        obs.seg(2, 9, "vfifo_residency", 1e-6, 4e-6, lane=LANE_SNIC)
+        (segment,) = obs.segments
+        assert segment.lane == LANE_SNIC and segment.duration == 3e-6
+
+    def test_none_op_id_segments_are_dropped(self):
+        obs, _ = make_obs()
+        obs.seg_begin(0, None, "x")
+        obs.seg(0, None, "x", 0.0, 1.0)
+        assert obs.segments == [] and obs.open_segments() == []
+
+    def test_same_phase_on_different_nodes_does_not_collide(self):
+        obs, sim = make_obs()
+        obs.seg_begin(0, 1, "inv_handle")
+        obs.seg_begin(1, 1, "inv_handle")
+        sim.now = 1e-6
+        obs.seg_end(0, 1, "inv_handle")
+        assert len(obs.segments) == 1
+        assert obs.open_segments() == [(1, 1, "inv_handle")]
+
+
+class TestQueriesAndSummaries:
+    def test_filters(self):
+        obs, sim = make_obs()
+        obs.op_begin(0, "write", 1)
+        obs.op_begin(0, "read", -1)
+        obs.seg(0, 1, "ack_wait", 0.0, 1e-6)
+        obs.seg(1, 1, "inv_handle", 0.0, 2e-6)
+        obs.instant(1, "durable_advance", op_id=1)
+        assert len(obs.spans_for(kind="write")) == 1
+        assert len(obs.segments_for(node=1)) == 1
+        assert len(obs.segments_for(phase="ack_wait")) == 1
+        assert len(obs.instants_for(name="durable_advance")) == 1
+        assert obs.nodes() == [0, 1]
+        assert len(obs) == 5
+
+    def test_phase_summaries_are_exact(self):
+        obs, _ = make_obs()
+        for duration in (1e-6, 2e-6, 3e-6):
+            obs.seg(0, 1, "ack_wait", 0.0, duration)
+        summary = obs.phase_summaries()["ack_wait"]
+        assert summary.count == 3
+        assert summary.mean == 2e-6
+        assert summary.minimum == 1e-6 and summary.maximum == 3e-6
+
+    def test_to_dict_is_json_shaped(self):
+        import json
+
+        obs, sim = make_obs()
+        obs.op_begin(0, "write", 1)
+        sim.now = 1e-6
+        obs.op_end(0, 1)
+        obs.fault(0, "drop", dst=2)
+        payload = obs.to_dict()
+        json.dumps(payload)  # must be serializable as-is
+        assert payload["spans"] == 1
+        assert payload["nodes"]["-1"]["counters"]["faults.drop"] == 1

@@ -132,6 +132,64 @@ class TestTracerFastPath:
             assert_identical(plain, traced)
 
 
+class TestObsFastPath:
+    def test_attaching_obs_does_not_change_the_calendar(self):
+        """The span recorder claims the same zero-overhead contract as
+        the tracer: record-only bookkeeping behind ``obs is not None``
+        guards.  With a recorder attached the run must schedule the
+        exact same events, or the exported timeline describes a
+        *different* execution than the unobserved one."""
+        def attach(cluster):
+            cluster.attach_obs()
+
+        for config in (MINOS_B, MINOS_O):
+            plain = run_small_workload(config)
+            observed = run_small_workload(config, setup=attach)
+            assert_identical(plain, observed)
+
+    def test_obs_and_tracer_together_are_calendar_transparent(self):
+        def attach_both(cluster):
+            cluster.attach_tracer()
+            cluster.attach_obs()
+
+        plain = run_small_workload(MINOS_O)
+        observed = run_small_workload(MINOS_O, setup=attach_both)
+        assert_identical(plain, observed)
+
+    def test_obs_is_calendar_transparent_under_faults(self):
+        """The retransmit/fault instrumentation must also be record-only:
+        the same lossy run, with and without the recorder, schedules the
+        same retransmissions at the same times."""
+        from repro.faults import FaultPlan
+
+        def install_plan(cluster):
+            cluster.enable_faults(FaultPlan.lossy(seed=3, drop=0.05))
+
+        def install_plan_and_obs(cluster):
+            cluster.attach_obs()
+            cluster.enable_faults(FaultPlan.lossy(seed=3, drop=0.05))
+
+        for config in (MINOS_B, MINOS_O):
+            plain = run_small_workload(config, setup=install_plan)
+            observed = run_small_workload(config,
+                                          setup=install_plan_and_obs)
+            assert_identical(plain, observed)
+
+    def test_obs_actually_recorded_something(self):
+        """Guard against the transparency tests passing vacuously
+        because the recorder was never invoked."""
+        recorders = {}
+
+        def attach(cluster):
+            recorders["obs"] = cluster.attach_obs()
+
+        run_small_workload(MINOS_O, setup=attach)
+        obs = recorders["obs"]
+        assert len(obs.spans) > 10
+        assert len(obs.segments) > 50
+        assert obs.open_segments() == []
+
+
 class _PassThroughInjector:
     """Injector-shaped object that faults nothing: every packet is
     delivered exactly once at its fault-free arrival time."""

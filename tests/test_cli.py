@@ -51,6 +51,54 @@ class TestTrace:
         assert "write:start" in out
         assert "node 1" in out
 
+    def test_trace_export_writes_valid_chrome_trace(self, capsys,
+                                                    tmp_path):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        trace_path = tmp_path / "write.json"
+        jsonl_path = tmp_path / "write.jsonl"
+        code = main(["trace", "--nodes", "3", "--arch", "MINOS-O",
+                     "--export", str(trace_path),
+                     "--jsonl", str(jsonl_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"wrote {trace_path}" in out
+        payload = json.loads(trace_path.read_text())
+        assert validate_chrome_trace(payload) == []
+        write_events = [e for e in payload["traceEvents"]
+                        if e.get("ph") == "X" and "op," in e.get("cat", "")]
+        assert write_events, "export contains no operation spans"
+        assert jsonl_path.is_file()
+        for line in jsonl_path.read_text().splitlines():
+            json.loads(line)
+
+
+class TestProfile:
+    def test_profile_prints_phase_breakdown(self, capsys):
+        code = main(["profile", "--nodes", "3", "--records", "30",
+                     "--requests", "10", "--clients", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "phase" in out
+        assert "ack_wait" in out and "inv_fanout" in out
+
+    def test_profile_json_and_export(self, capsys, tmp_path):
+        import json
+
+        trace_path = tmp_path / "profile.json"
+        code = main(["profile", "--nodes", "3", "--records", "30",
+                     "--requests", "10", "--clients", "1",
+                     "--arch", "MINOS-O", "--json",
+                     "--export", str(trace_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[:out.rindex("}") + 1])
+        assert payload["spans"] > 0
+        assert "ack_wait" in payload["phases"]
+        assert trace_path.is_file()
+
 
 class TestFigure:
     def test_fig13_smoke(self, capsys):

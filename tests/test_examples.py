@@ -43,6 +43,25 @@ def test_failure_recovery(capsys):
     assert "node2 sees: balance=300" in out
 
 
+def test_profile_write(capsys):
+    import json
+    import os
+
+    try:
+        run_example("profile_write.py")
+    finally:
+        if os.path.exists("profile_write.trace.json"):
+            with open("profile_write.trace.json") as handle:
+                payload = json.load(handle)
+            os.remove("profile_write.trace.json")
+    out = capsys.readouterr().out
+    # The offload architecture's extra SNIC phases are visible...
+    assert "vfifo_residency" in out and "ack_wait" in out
+    # ...and the exported trace is loadable.
+    assert "valid" in out
+    assert any(e.get("ph") == "X" for e in payload["traceEvents"])
+
+
 @pytest.mark.slow
 def test_ycsb_comparison(capsys):
     run_example("ycsb_comparison.py",
