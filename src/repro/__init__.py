@@ -72,6 +72,18 @@ _EXPORTS = {
     "ModelChecker": "repro.verify",
     "ProtocolSpec": "repro.verify",
     "WriteDef": "repro.verify",
+    "run_check": "repro.check",
+    "CheckReport": "repro.check",
+    "CheckWorkload": "repro.check",
+    "History": "repro.check",
+    "HistoryOp": "repro.check",
+    "HistoryRecorder": "repro.check",
+    "RecordingClient": "repro.check",
+    "LinearizabilityReport": "repro.check",
+    "DurabilityReport": "repro.check",
+    "check_linearizability": "repro.check",
+    "check_durability": "repro.check",
+    "shrink_history": "repro.check",
     "Observability": "repro.obs",
     "MetricsRegistry": "repro.obs",
     "LogHistogram": "repro.obs",

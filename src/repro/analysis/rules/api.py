@@ -13,6 +13,11 @@ else may move.  Two invariants keep it honest:
   ``repro.core.…`` or ``repro.hw.…`` is documentation teaching users to
   depend on internal layout; if an example needs a name, the facade
   grows it instead.
+* **api-facade** — the facade keeps exporting every name in
+  :data:`REQUIRED_EXPORTS`, the load-bearing subset of the surface
+  (cluster building, faults, verification, correctness checking,
+  observability).  Dropping one is facade breakage even if ``__all__``
+  stays internally consistent, so ``repro lint`` gates it.
 """
 
 from __future__ import annotations
@@ -28,6 +33,26 @@ API_MODULE = "repro/api.py"
 
 #: The only repro module examples may import from.
 ALLOWED_EXAMPLE_IMPORT = "repro.api"
+
+#: Names the facade must always export.  Not the whole surface — the
+#: load-bearing entry points whose silent removal would break users:
+#: one per subsystem plus the correctness-checking names the ``repro
+#: check`` pipeline is built from.
+REQUIRED_EXPORTS = frozenset({
+    # cluster + experiments
+    "MinosCluster", "YcsbWorkload", "run_experiment", "OpResult",
+    # faults + recovery
+    "FaultPlan", "CrashWindow", "run_chaos", "RecoveryManager",
+    # abstract verification
+    "ModelChecker", "ProtocolSpec", "WriteDef",
+    # correctness checking (repro.check)
+    "run_check", "CheckReport", "CheckWorkload",
+    "History", "HistoryOp", "HistoryRecorder", "RecordingClient",
+    "LinearizabilityReport", "DurabilityReport",
+    "check_linearizability", "check_durability", "shrink_history",
+    # observability
+    "Observability", "chrome_trace", "write_chrome_trace",
+})
 
 
 def _module_all(tree: ast.Module) -> List[ast.Constant]:
@@ -85,6 +110,13 @@ def _check_facade(module: ModuleSource) -> Iterator[Finding]:
                 message=f"top-level name {name!r} is bound in the "
                         f"facade but missing from __all__ (unstated "
                         f"public surface)")
+    for name in sorted(REQUIRED_EXPORTS - exported_names):
+        yield Finding(
+            rule="api-facade", path=module.rel, line=1,
+            symbol="__all__",
+            message=f"required export {name!r} disappeared from the "
+                    f"facade's __all__ (stable-surface breakage; see "
+                    f"REQUIRED_EXPORTS in the api rule)")
 
 
 def _check_example(module: ModuleSource) -> Iterator[Finding]:

@@ -23,6 +23,15 @@ The surface, by theme:
   :class:`RecoveryManager` for heartbeat-driven failure recovery.
 * **Verification** — :class:`ModelChecker` over a :class:`ProtocolSpec`
   of concurrent :class:`WriteDef` s (the Table I invariants).
+* **Correctness checking** — :func:`run_check` (schedule/crash
+  exploration over real cluster runs, returning a
+  :class:`CheckReport`), the :class:`History` / :class:`HistoryOp`
+  records with :class:`HistoryRecorder` + :class:`RecordingClient` to
+  capture them, :func:`check_linearizability`
+  (:class:`LinearizabilityReport`), :func:`check_durability`
+  (:class:`DurabilityReport`, per-persistency-model crash rules),
+  :func:`shrink_history` for counterexample minimization, and
+  :class:`CheckWorkload` (see docs/correctness_checking.md).
 * **Microservices** — :data:`MEDIA_LOGIN` / :data:`SOCIAL_LOGIN`
   workflows with :func:`run_microservice` (Fig. 14), and :func:`us`
   for microsecond literals.
@@ -40,6 +49,11 @@ from __future__ import annotations
 
 from repro.bench.harness import (ExperimentConfig, ExperimentResult,
                                  run_experiment, run_microservice)
+from repro.check import (CheckReport, CheckWorkload, DurabilityReport,
+                         History, HistoryOp, HistoryRecorder,
+                         LinearizabilityReport, RecordingClient,
+                         check_durability, check_linearizability,
+                         run_check, shrink_history)
 from repro.cluster.cluster import MinosCluster
 from repro.cluster.results import OpResult
 from repro.core.config import (MINOS_B, MINOS_O, ProtocolConfig,
@@ -98,6 +112,19 @@ __all__ = [
     "ModelChecker",
     "ProtocolSpec",
     "WriteDef",
+    # correctness checking
+    "run_check",
+    "CheckReport",
+    "CheckWorkload",
+    "History",
+    "HistoryOp",
+    "HistoryRecorder",
+    "RecordingClient",
+    "LinearizabilityReport",
+    "DurabilityReport",
+    "check_linearizability",
+    "check_durability",
+    "shrink_history",
     # observability
     "Observability",
     "MetricsRegistry",

@@ -1,0 +1,49 @@
+"""Counterexample minimization: shrink a failing history.
+
+A schedule-exploration failure typically implicates a handful of
+events buried in a few hundred recorded ops.  :func:`shrink_history`
+reduces a failing single-key sub-history to a **1-minimal**
+counterexample: removing any single remaining op makes the history
+pass again (ddmin with single-op granularity — each removal re-runs
+the memoized WGL check, which is cheap at counterexample sizes).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.check.history import HistoryOp
+from repro.check.wgl import check_key_history
+
+
+def _default_fails(ops: Sequence[HistoryOp], initial: Any) -> bool:
+    return not check_key_history(ops, initial).ok
+
+
+def shrink_history(ops: Sequence[HistoryOp], initial: Any = None,
+                   fails: Optional[Callable[..., bool]] = None,
+                   max_rounds: int = 10_000) -> List[HistoryOp]:
+    """Greedily remove ops while the history still fails.
+
+    *fails* decides whether a candidate sub-history still exhibits the
+    failure (default: not linearizable per :func:`check_key_history`).
+    Returns the ops of a 1-minimal failing sub-history, in the input's
+    order.  Raises ``ValueError`` if the input doesn't fail to begin
+    with.
+    """
+    predicate = fails or _default_fails
+    current = list(ops)
+    if not predicate(current, initial):
+        raise ValueError("shrink_history needs a failing history")
+    rounds = 0
+    changed = True
+    while changed and rounds < max_rounds:
+        changed = False
+        for i in range(len(current)):
+            candidate = current[:i] + current[i + 1:]
+            rounds += 1
+            if predicate(candidate, initial):
+                current = candidate
+                changed = True
+                break
+    return current

@@ -1,0 +1,67 @@
+"""Contention-heavy workload for history checking.
+
+Unlike the YCSB stream (zipfian over thousands of records), checking
+wants *collisions*: a handful of keys hammered by every client, so
+concurrent writes race, RDLocks get snatched, and obsolete absorption
+actually triggers.  Every write carries a globally unique value
+(``s<seed>n<node>c<client>o<i>``), which makes the register checker
+unambiguous: a read's value identifies exactly one write.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Tuple
+
+from repro.errors import ConfigError
+from repro.workloads.ycsb import Op, OpKind
+
+
+class CheckWorkload:
+    """A reproducible per-client op stream over a small shared keyspace.
+
+    Mirrors the :class:`~repro.workloads.ycsb.YcsbWorkload` driver API
+    (``initial_records`` / ``ops_for``), so it plugs into the same
+    harnesses.  With *persists* enabled (⟨Lin, Scope⟩ runs), roughly
+    one op in eight is a ``[PERSIST]sc`` and writes are spread over
+    *scopes* persistency scopes.
+    """
+
+    def __init__(self, keys: int = 6, ops_per_client: int = 16,
+                 write_fraction: float = 0.6, seed: int = 0,
+                 persists: bool = False, scopes: int = 2) -> None:
+        if keys <= 0 or ops_per_client <= 0:
+            raise ConfigError("keys and ops_per_client must be positive")
+        if not 0.0 <= write_fraction <= 1.0:
+            raise ConfigError("write_fraction must be within [0, 1]")
+        self.keys = keys
+        self.ops_per_client = ops_per_client
+        self.write_fraction = write_fraction
+        self.seed = seed
+        self.persists = persists
+        self.scopes = max(1, scopes)
+
+    @property
+    def key_names(self) -> List[str]:
+        return [f"k{i}" for i in range(self.keys)]
+
+    def initial_records(self) -> List[Tuple[str, str]]:
+        """Keys start unwritten — the register checker's initial value
+        is ``None``, so a read before the first write is well-defined."""
+        return []
+
+    def ops_for(self, node_id: int, client_idx: int) -> Iterator[Op]:
+        rng = random.Random(self.seed * 1_000_003
+                            + node_id * 1_009 + client_idx)
+        client = f"s{self.seed}n{node_id}c{client_idx}"
+        for i in range(self.ops_per_client):
+            scope = rng.randrange(self.scopes) if self.persists else None
+            if self.persists and i > 0 and rng.random() < 0.125:
+                yield Op(kind=OpKind.PERSIST, scope=scope)
+                continue
+            key = f"k{rng.randrange(self.keys)}"
+            if rng.random() < self.write_fraction:
+                yield Op(kind=OpKind.WRITE, key=key,
+                         value=f"{client}o{i}", scope=scope)
+            else:
+                yield Op(kind=OpKind.READ, key=key)

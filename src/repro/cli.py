@@ -7,6 +7,10 @@ Commands:
 * ``figure``     — regenerate one of the paper's evaluation artifacts
   (fig4, fig9, fig10, fig11, fig12, fig13, fig14, tab1).
 * ``verify``     — model-check a protocol configuration (Table I).
+* ``check``      — record invocation/response histories from real
+  cluster runs under seeded schedule/crash exploration and check
+  (durable) linearizability; failures shrink to a minimal
+  counterexample and export a Perfetto trace.
 * ``chaos``      — run a workload under seeded fault injection
   (loss/duplication/delay + crash/restart) and check the runtime
   invariants afterwards.
@@ -127,9 +131,50 @@ def _build_parser() -> argparse.ArgumentParser:
     verify = sub.add_parser("verify", help="model-check a protocol")
     verify.add_argument("--model", default="synch")
     verify.add_argument("--arch", default="MINOS-B")
+    verify.add_argument("--offload", action="store_true",
+                        help="check the SmartNIC-offload variant "
+                        "(shorthand for --arch MINOS-O)")
     verify.add_argument("--nodes", type=int, default=2)
     verify.add_argument("--writes", type=int, default=2,
                         help="concurrent conflicting writes to check")
+    verify.add_argument("--json", action="store_true",
+                        help="emit the result as JSON")
+
+    check = sub.add_parser(
+        "check", help="check implementation histories for (durable) "
+        "linearizability under seeded schedule/crash exploration")
+    check.add_argument("--model", default="synch",
+                       help="DDP model (see `models`)")
+    check.add_argument("--arch", default="MINOS-B",
+                       help="architecture preset (see `configs`)")
+    check.add_argument("--offload", action="store_true",
+                       help="check the SmartNIC-offload variant "
+                       "(shorthand for --arch MINOS-O)")
+    check.add_argument("--nodes", type=int, default=3)
+    check.add_argument("--ops", type=int, default=16,
+                       help="operations per client")
+    check.add_argument("--clients", type=int, default=1,
+                       help="clients per non-victim node")
+    check.add_argument("--keys", type=int, default=6,
+                       help="shared keyspace size (contention knob)")
+    check.add_argument("--write-fraction", type=float, default=0.6)
+    check.add_argument("--seeds", type=int, default=3,
+                       help="schedule seeds to explore")
+    check.add_argument("--seed", type=int, default=0,
+                       help="base seed (seeds run seed..seed+N-1)")
+    check.add_argument("--crash-points", default="phase",
+                       choices=("none", "phase", "uniform"),
+                       help="crash-point enumeration: protocol-phase "
+                       "boundaries, uniform times, or no crashes")
+    check.add_argument("--crash-trials", type=int, default=2,
+                       help="crash points tried per seed")
+    check.add_argument("--export", default=None, metavar="PREFIX",
+                       dest="export_path",
+                       help="on failure, write PREFIX.trace.json "
+                       "(Perfetto) and PREFIX.history.json "
+                       "(counterexample + full history)")
+    check.add_argument("--json", action="store_true",
+                       help="emit the repro-check/1 JSON payload")
 
     trace = sub.add_parser("trace", help="trace one replicated write")
     trace.add_argument("--arch", default="MINOS-O")
@@ -311,23 +356,95 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def _resolve_arch(args: argparse.Namespace) -> str:
+    """``--offload`` is shorthand for ``--arch MINOS-O`` (verify and
+    check accept both spellings, consistently)."""
+    return "MINOS-O" if args.offload else args.arch
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
     from repro.core.config import config_by_name
     from repro.core.model import model_by_name
     from repro.verify import ModelChecker, ProtocolSpec, WriteDef
 
-    offload = config_by_name(args.arch).offload
+    arch = _resolve_arch(args)
+    offload = config_by_name(arch).offload
     writes = tuple(WriteDef(coord % args.nodes)
                    for coord in range(args.writes))
     spec = ProtocolSpec(model=model_by_name(args.model), nodes=args.nodes,
                         writes=writes, offload=offload)
     result = ModelChecker(spec).check()
-    print(f"verify: {args.arch} {spec.model.name} nodes={args.nodes} "
+    if args.json:
+        import json
+
+        payload = {
+            "schema": "repro-verify/1",
+            "model": spec.model.name,
+            "arch": arch,
+            "offload": offload,
+            "nodes": args.nodes,
+            "writes": args.writes,
+            "ok": result.ok,
+            "states": result.states,
+            "transitions": result.transitions,
+            "terminal_states": result.terminal_states,
+            "violations": [str(violation)
+                           for violation in result.violations],
+        }
+        print(json.dumps(payload, indent=2))
+        return 0 if result.ok else 1
+    print(f"verify: {arch} {spec.model.name} nodes={args.nodes} "
           f"writes={args.writes}")
     print(f"  {result}")
     for violation in result.violations:
         print(f"  VIOLATION: {violation}")
     return 0 if result.ok else 1
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.check import run_check
+
+    arch = _resolve_arch(args)
+    report = run_check(model=args.model, config=arch, nodes=args.nodes,
+                       ops_per_client=args.ops,
+                       clients_per_node=args.clients, keys=args.keys,
+                       write_fraction=args.write_fraction,
+                       seeds=args.seeds, base_seed=args.seed,
+                       crash_points=args.crash_points,
+                       crash_trials=args.crash_trials,
+                       export=args.export_path)
+    if args.json:
+        import json
+
+        print(json.dumps(report.to_dict(), indent=2))
+        return 0 if report.ok else 1
+    crashes = sum(1 for run in report.runs if run.crash_at is not None)
+    states = sum(run.states for run in report.runs)
+    ops = sum(run.ops for run in report.runs)
+    print(f"check: {report.arch} {report.model} nodes={report.nodes} "
+          f"seeds={report.seeds} crash-points={report.crash_points}")
+    print(f"  schedules     : {len(report.runs)} runs "
+          f"({crashes} with a crash/recover)")
+    print(f"  histories     : {ops} ops checked, "
+          f"{states} linearization states searched")
+    print(f"  verdict       : "
+          + ("all histories (durable-)linearizable" if report.ok
+             else "VIOLATION"))
+    counterexample = report.counterexample
+    if counterexample is not None:
+        print(f"  counterexample: {counterexample.kind} on "
+              f"key={counterexample.key!r} "
+              f"({counterexample.label}, "
+              f"crash_at={counterexample.crash_at})")
+        print(f"    {counterexample.detail}")
+        for event in counterexample.events:
+            print(f"    {event['kind']:7s} key={event['key']!r} "
+                  f"value={event['value']!r} "
+                  f"[{event['invoked']:.6g}, {event['responded']}] "
+                  f"write_id={event['write_id']}")
+        for path in counterexample.exported:
+            print(f"    wrote {path}")
+    return 0 if report.ok else 1
 
 
 def _export_obs(obs, export_path, jsonl_path) -> int:
@@ -540,6 +657,7 @@ def _cmd_configs(_args: argparse.Namespace) -> int:
 _COMMANDS = {
     "bench": _cmd_bench,
     "chaos": _cmd_chaos,
+    "check": _cmd_check,
     "experiment": _cmd_experiment,
     "figure": _cmd_figure,
     "lint": _cmd_lint,

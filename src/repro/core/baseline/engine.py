@@ -179,7 +179,8 @@ class BaselineEngine(EngineBase):
                 self.obs.seg_end(self.node_id, write_id, "lock_acquire",
                                  obsolete=True)
                 self.obs.op_end(self.node_id, write_id, status="obsolete")
-            return WriteResult(key, ts, True, self.sim.now - started)
+            return WriteResult(key, ts, True, self.sim.now - started,
+                               write_id=write_id)
         yield from self.host.sync_op()  # line 8: Snatch RDLock(k)
         if meta.snatch_rdlock(ts):
             self.metrics.counters.rdlock_snatches += 1
@@ -213,7 +214,8 @@ class BaselineEngine(EngineBase):
             self.metrics.counters.writes_obsolete += 1
             if self.obs is not None:
                 self.obs.op_end(self.node_id, write_id, status="obsolete")
-            return WriteResult(key, ts, True, self.sim.now - started)
+            return WriteResult(key, ts, True, self.sim.now - started,
+                               write_id=write_id)
         # line 17-18: INVs were sent; persist the update to NVM.
         if self.model.persist_in_critical_path:  # Synch, Strict
             if self.obs is not None:
@@ -237,7 +239,7 @@ class BaselineEngine(EngineBase):
                        latency_s=latency)
         if self.obs is not None:
             self.obs.op_end(self.node_id, write_id)
-        return WriteResult(key, ts, False, latency)
+        return WriteResult(key, ts, False, latency, write_id=write_id)
 
     def _persist_record(self, key, value, ts, scope) -> None:
         """Logical durability point: append to the NVM log."""
@@ -392,8 +394,9 @@ class BaselineEngine(EngineBase):
             self.obs.op_end(self.node_id, op_id,
                             status="ok" if versioned is not None else "miss")
         if versioned is None:
-            return ReadResult(key, None, NULL_TS, latency)
-        return ReadResult(key, versioned.value, versioned.ts, latency)
+            return ReadResult(key, None, NULL_TS, latency, write_id=op_id)
+        return ReadResult(key, versioned.value, versioned.ts, latency,
+                          write_id=op_id)
 
     # ======================================================================
     # Coordinator: [PERSIST]sc (paper §III-C, Fig. 3 vii)
@@ -477,7 +480,8 @@ class BaselineEngine(EngineBase):
                 self.obs.seg_end(self.node_id, write_id, "lock_acquire",
                                  obsolete=True)
                 self.obs.op_end(self.node_id, write_id, status="obsolete")
-            return WriteResult(key, ts, True, self.sim.now - started)
+            return WriteResult(key, ts, True, self.sim.now - started,
+                               write_id=write_id)
         if self.obs is not None:
             self.obs.seg_end(self.node_id, write_id, "lock_acquire")
         msg = self.stamp(Message(type=MsgType.INV, key=key, ts=ts,
@@ -509,7 +513,7 @@ class BaselineEngine(EngineBase):
                    latency_s=latency)
         if self.obs is not None:
             self.obs.op_end(self.node_id, write_id)
-        return WriteResult(key, ts, False, latency)
+        return WriteResult(key, ts, False, latency, write_id=write_id)
 
     def _ec_background_persist(self, key, value, ts, size=None):
         yield self.host.nvm.persist(size or self.params.record_size)

@@ -36,6 +36,11 @@ class WriteResult:
     ts: Timestamp
     obsolete: bool
     latency: float
+    #: The protocol ``write_id`` the coordinator minted for this
+    #: transaction — the same id the obs layer keys its spans and
+    #: segments on, so a recorded history event can be correlated with
+    #: the exported timeline.  ``None`` on paths that never mint one.
+    write_id: Optional[int] = None
 
 
 @dataclass(slots=True)
@@ -46,6 +51,9 @@ class ReadResult:
     value: Any
     ts: Timestamp
     latency: float
+    #: Reads have no protocol-level id; when an obs recorder is attached
+    #: this is the (negative) span id it minted, else ``None``.
+    write_id: Optional[int] = None
 
 
 class WriteTxn:

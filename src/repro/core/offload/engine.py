@@ -184,7 +184,8 @@ class OffloadEngine(EngineBase):
                 self.obs.seg_end(self.node_id, write_id, "lock_acquire",
                                  obsolete=True)
                 self.obs.op_end(self.node_id, write_id, status="obsolete")
-            return WriteResult(key, ts, True, self.sim.now - started)
+            return WriteResult(key, ts, True, self.sim.now - started,
+                               write_id=write_id)
         yield self.snic.coherent_access()  # line 8: Snatch RDLock (CAS)
         if meta.snatch_rdlock(ts):
             self.metrics.counters.rdlock_snatches += 1
@@ -195,7 +196,8 @@ class OffloadEngine(EngineBase):
             self.metrics.counters.writes_obsolete += 1
             if self.obs is not None:
                 self.obs.op_end(self.node_id, write_id, status="obsolete")
-            return WriteResult(key, ts, True, self.sim.now - started)
+            return WriteResult(key, ts, True, self.sim.now - started,
+                               write_id=write_id)
         msg = self.stamp(Message(type=MsgType.INV, key=key, ts=ts,
                                  src=self.node_id, value=value, scope=scope,
                                  size=size, write_id=write_id))
@@ -221,7 +223,7 @@ class OffloadEngine(EngineBase):
                        latency_s=latency)
         if self.obs is not None:
             self.obs.op_end(self.node_id, write_id)
-        return WriteResult(key, ts, False, latency)
+        return WriteResult(key, ts, False, latency, write_id=write_id)
 
     def _host_deposit_invs(self, msg: Message):
         size = self.record_size(msg)
@@ -267,8 +269,9 @@ class OffloadEngine(EngineBase):
             self.obs.op_end(self.node_id, op_id,
                             status="ok" if versioned is not None else "miss")
         if versioned is None:
-            return ReadResult(key, None, NULL_TS, latency)
-        return ReadResult(key, versioned.value, versioned.ts, latency)
+            return ReadResult(key, None, NULL_TS, latency, write_id=op_id)
+        return ReadResult(key, versioned.value, versioned.ts, latency,
+                          write_id=op_id)
 
     def client_persist(self, scope: int):
         """Host half of [PERSIST]sc: deposit to the SNIC and wait."""
@@ -358,7 +361,7 @@ class OffloadEngine(EngineBase):
         self.metrics.record_write(latency)
         self.trace("write", "complete (EC)", key=key, ts=ts,
                    latency_s=latency)
-        return WriteResult(key, ts, False, latency)
+        return WriteResult(key, ts, False, latency, write_id=msg.write_id)
 
     def _snic_ec_coord_local(self, txn: WriteTxn, msg: Message):
         """SNIC local work for an EC write: enqueue, then notify the

@@ -22,12 +22,14 @@ class TestFacadeDrift:
         assert "api-all-drift" in index
 
     def test_consistent_facade_clean(self, finding_index):
+        # A tiny-but-consistent facade drifts nowhere; it does miss the
+        # required exports, which is the separate api-facade rule's job.
         index = finding_index({"src/repro/api.py": textwrap.dedent("""
             from repro.core.timestamp import Timestamp
 
             __all__ = ["Timestamp"]
         """)}, only=["api"])
-        assert index == {}
+        assert "api-all-drift" not in index
 
     def test_private_names_exempt(self, finding_index):
         index = finding_index({"src/repro/api.py": textwrap.dedent("""
@@ -36,7 +38,35 @@ class TestFacadeDrift:
 
             __all__ = ["Timestamp"]
         """)}, only=["api"])
+        assert "api-all-drift" not in index
+
+
+class TestRequiredExports:
+    def full_facade(self, drop=()):
+        from repro.analysis.rules.api import REQUIRED_EXPORTS
+
+        names = sorted(REQUIRED_EXPORTS - set(drop))
+        imports = "\n".join(f"{name} = object()" for name in names)
+        exports = ", ".join(f'"{name}"' for name in names)
+        return f"{imports}\n\n__all__ = [{exports}]\n"
+
+    def test_full_facade_clean(self, finding_index):
+        index = finding_index(
+            {"src/repro/api.py": self.full_facade()}, only=["api"])
         assert index == {}
+
+    def test_dropped_required_export_flagged(self, finding_index):
+        index = finding_index(
+            {"src/repro/api.py": self.full_facade(drop=("run_check",))},
+            only=["api"])
+        assert "api-facade" in index
+
+    def test_checker_names_are_required(self):
+        from repro.analysis.rules.api import REQUIRED_EXPORTS
+
+        assert {"run_check", "CheckReport", "check_linearizability",
+                "check_durability", "shrink_history",
+                "HistoryRecorder"} <= REQUIRED_EXPORTS
 
 
 class TestExampleImports:

@@ -1,0 +1,201 @@
+"""Durable-linearizability rules, unit-tested on crafted histories.
+
+One class per rule family: floors (what must survive a crash under
+each persistency model), snapshot checking (floor + validity), and the
+post-recovery read rules.
+"""
+
+from repro import (LIN_EVENT, LIN_RENF, LIN_SCOPE, LIN_STRICT, LIN_SYNCH,
+                   Timestamp)
+from repro.check import (History, HistoryOp, check_durability,
+                         durability_floors,
+                         post_recovery_read_violations)
+
+CRASH = 100.0
+
+
+def write(op_id, key, value, invoked, responded, version,
+          obsolete=False, scope=None):
+    ts = None if responded is None else Timestamp(version, 0)
+    return HistoryOp(op_id=op_id, client="c", kind="write", key=key,
+                     value=value, invoked=invoked, responded=responded,
+                     ts=ts, obsolete=obsolete, scope=scope)
+
+
+def read(op_id, key, value, invoked, responded, version=None):
+    ts = None if version is None else Timestamp(version, 0)
+    return HistoryOp(op_id=op_id, client="c", kind="read", key=key,
+                     value=value, invoked=invoked, responded=responded,
+                     ts=ts)
+
+
+def persist(op_id, scope, invoked, responded):
+    return HistoryOp(op_id=op_id, client="c", kind="persist", key=None,
+                     value=None, invoked=invoked, responded=responded,
+                     scope=scope)
+
+
+class TestFloors:
+    def test_synch_floors_every_acked_write(self):
+        history = History([
+            write(0, "k", "v1", 0.0, 1.0, version=1),
+            write(1, "k", "v2", 2.0, 3.0, version=2),
+        ])
+        for model in (LIN_SYNCH, LIN_STRICT):
+            floors = durability_floors(model, history, CRASH)
+            ts, evidence = floors["k"]
+            assert ts == Timestamp(2, 0)
+            assert evidence == (1,)
+
+    def test_pending_and_post_crash_writes_do_not_floor(self):
+        history = History([
+            write(0, "k", "v1", 0.0, None, version=None),  # pending
+            write(1, "k", "v2", CRASH + 1, CRASH + 2, version=2),
+        ])
+        assert durability_floors(LIN_SYNCH, history, CRASH) == {}
+
+    def test_obsolete_write_does_not_floor(self):
+        history = History([
+            write(0, "k", "lost", 0.0, 1.0, version=1, obsolete=True),
+        ])
+        assert durability_floors(LIN_SYNCH, history, CRASH) == {}
+
+    def test_renf_floors_read_values_not_acks(self):
+        history = History([
+            write(0, "k", "v1", 0.0, 1.0, version=1),
+            read(1, "k", "v1", 2.0, 3.0, version=1),
+            write(2, "q", "unread", 0.0, 1.0, version=1),
+        ])
+        floors = durability_floors(LIN_RENF, history, CRASH)
+        assert floors["k"][0] == Timestamp(1, 0)
+        assert "q" not in floors  # acked but never observed by a read
+
+    def test_event_has_no_floor(self):
+        history = History([
+            write(0, "k", "v1", 0.0, 1.0, version=1),
+            read(1, "k", "v1", 2.0, 3.0, version=1),
+        ])
+        assert durability_floors(LIN_EVENT, history, CRASH) == {}
+
+    def test_scope_closure_floors_writes_acked_before_persist(self):
+        history = History([
+            write(0, "k", "v1", 0.0, 1.0, version=1, scope=1),
+            write(1, "k", "v2", 12.0, 13.0, version=2, scope=1),
+            write(2, "q", "w1", 0.0, 1.0, version=1, scope=2),
+            persist(3, scope=1, invoked=10.0, responded=11.0),
+        ])
+        floors = durability_floors(LIN_SCOPE, history, CRASH)
+        # v1 was acked before the persist was invoked; v2 and the
+        # scope-2 write were not closed by it.
+        assert floors["k"][0] == Timestamp(1, 0)
+        assert floors["k"][1] == (0, 3)
+        assert "q" not in floors
+
+    def test_scope_persist_after_crash_does_not_floor(self):
+        history = History([
+            write(0, "k", "v1", 0.0, 1.0, version=1, scope=1),
+            persist(1, scope=1, invoked=2.0, responded=CRASH + 1),
+        ])
+        assert durability_floors(LIN_SCOPE, history, CRASH) == {}
+
+
+class TestSnapshotCheck:
+    def history(self):
+        return History([
+            write(0, "k", "v1", 0.0, 1.0, version=1),
+            write(1, "k", "v2", 2.0, 3.0, version=2),
+        ])
+
+    def test_surviving_floor_version_passes(self):
+        snapshot = {"k": (Timestamp(2, 0), "v2")}
+        assert check_durability(LIN_SYNCH, self.history(), CRASH,
+                                snapshot).ok
+
+    def test_newer_surviving_version_discharges_floor(self):
+        snapshot = {"k": (Timestamp(3, 0), "v3-pending")}
+        history = self.history()
+        history.append(write(2, "k", "v3-pending", 4.0, None,
+                             version=None))
+        assert check_durability(LIN_SYNCH, history, CRASH, snapshot).ok
+
+    def test_lost_acked_write_is_floor_violation(self):
+        snapshot = {"k": (Timestamp(1, 0), "v1")}  # v2 lost
+        report = check_durability(LIN_SYNCH, self.history(), CRASH,
+                                  snapshot)
+        assert not report.ok
+        assert report.violations[0].rule == "durability-floor"
+        assert report.violations[0].evidence == (1,)
+
+    def test_empty_nvm_is_floor_violation(self):
+        report = check_durability(LIN_SYNCH, self.history(), CRASH, {})
+        assert not report.ok
+        assert "retained nothing" in report.violations[0].detail
+
+    def test_empty_nvm_passes_under_event(self):
+        assert check_durability(LIN_EVENT, self.history(), CRASH, {}).ok
+
+    def test_corrupt_value_is_validity_violation(self):
+        snapshot = {"k": (Timestamp(2, 0), "garbage")}
+        report = check_durability(LIN_SYNCH, self.history(), CRASH,
+                                  snapshot)
+        assert any(v.rule == "durability-validity"
+                   for v in report.violations)
+
+    def test_never_written_value_is_validity_violation(self):
+        snapshot = {"k": (Timestamp(9, 9), "ghost")}
+        report = check_durability(LIN_EVENT, self.history(), CRASH,
+                                  snapshot)
+        assert not report.ok
+        assert report.violations[0].rule == "durability-validity"
+
+    def test_pending_write_value_is_valid(self):
+        # A pending write's version may be durable even though its ts
+        # never reached the client — validity accepts it by value.
+        history = self.history()
+        history.append(write(2, "k", "v3", 4.0, None, version=None))
+        snapshot = {"k": (Timestamp(3, 0), "v3")}
+        assert check_durability(LIN_EVENT, history, CRASH, snapshot).ok
+
+    def test_initial_record_value_is_valid(self):
+        snapshot = {"fresh": (Timestamp(0, 0), "loaded")}
+        assert check_durability(LIN_EVENT, History([]), CRASH, snapshot,
+                                initial={"fresh": "loaded"}).ok
+
+
+class TestPostRecoveryReads:
+    def history(self):
+        return History([
+            write(0, "k", "v1", 0.0, 1.0, version=1),
+            write(1, "k", "v2", 2.0, 3.0, version=2),
+        ])
+
+    def test_read_at_or_above_floor_passes(self):
+        probe = read(10, "k", "v2", CRASH + 50, CRASH + 51, version=2)
+        assert post_recovery_read_violations(
+            LIN_SYNCH, self.history(), CRASH, [probe]) == []
+
+    def test_read_below_floor_is_violation(self):
+        probe = read(10, "k", "v1", CRASH + 50, CRASH + 51, version=1)
+        violations = post_recovery_read_violations(
+            LIN_SYNCH, self.history(), CRASH, [probe])
+        assert violations and violations[0].rule == "post-recovery-read"
+        assert 10 in violations[0].evidence
+
+    def test_lost_key_read_is_violation_under_synch_only(self):
+        probe = read(10, "k", None, CRASH + 50, CRASH + 51)
+        assert post_recovery_read_violations(
+            LIN_SYNCH, self.history(), CRASH, [probe])
+        # Event never floors, so a lost key is legal there.
+        assert post_recovery_read_violations(
+            LIN_EVENT, self.history(), CRASH, [probe]) == []
+
+    def test_fabricated_value_is_violation_under_every_model(self):
+        probe = read(10, "k", "ghost", CRASH + 50, CRASH + 51,
+                     version=7)
+        for model in (LIN_SYNCH, LIN_STRICT, LIN_RENF, LIN_EVENT,
+                      LIN_SCOPE):
+            violations = post_recovery_read_violations(
+                model, self.history(), CRASH, [probe])
+            assert any("no client ever wrote" in v.detail
+                       for v in violations), \
+                model.name

@@ -1,0 +1,56 @@
+"""Checker performance guard (acceptance criterion: 200-op history in
+under 10 s).
+
+The WGL search is exponential without memoization; this guard pins the
+per-key partitioning + state caching that keep default-sized runs
+interactive.  The budget is 10 s on a shared CI runner — a quiet dev
+machine does this in well under a second.
+"""
+
+import time
+
+from repro import LIN_SYNCH, MinosCluster, MINOS_B
+from repro.check import (CheckWorkload, HistoryRecorder, RecordingClient,
+                         check_linearizability)
+
+
+def record_history(nodes=3, clients_per_node=2, ops_per_client=34,
+                   keys=6, seed=11):
+    """A real cluster run (no faults, no crash) recorded into a
+    history of ``nodes * clients_per_node * ops_per_client`` ops."""
+    from repro.hw.params import DEFAULT_MACHINE
+
+    workload = CheckWorkload(keys=keys, ops_per_client=ops_per_client,
+                             seed=seed)
+    cluster = MinosCluster(model=LIN_SYNCH, config=MINOS_B,
+                           params=DEFAULT_MACHINE.with_nodes(nodes))
+    cluster.load_records(workload.initial_records())
+    recorder = HistoryRecorder(cluster.sim)
+    for node_id in range(nodes):
+        engine = cluster.nodes[node_id].engine
+        for client_idx in range(clients_per_node):
+            client = RecordingClient(cluster, engine,
+                                     workload.ops_for(node_id, client_idx),
+                                     recorder, client_idx)
+            cluster.sim.spawn(client.run(),
+                              name=f"perf.client.n{node_id}c{client_idx}")
+    cluster.sim.run()
+    return recorder.history()
+
+
+def test_200_op_history_checks_in_under_10s():
+    history = record_history()
+    assert len(history) >= 200
+    assert not history.pending
+
+    start = time.perf_counter()
+    report = check_linearizability(history)
+    elapsed = time.perf_counter() - start
+
+    assert report.ok, report.to_dict()
+    assert elapsed < 10.0, (
+        f"checking {len(history)} ops took {elapsed:.2f}s "
+        f"({report.states} states) — memoization regression?")
+    # The memo must be doing real work: the state count stays within a
+    # small multiple of the op count rather than exploding.
+    assert report.states < 100 * len(history)

@@ -1,0 +1,219 @@
+"""WGL checker unit tests + hypothesis properties (ISSUE 5 satellite).
+
+The property tests pin the checker's two defining behaviors: generated
+known-linearizable histories always pass, and injecting a stale read
+into a real-time-ordered history always fails — with shrinking
+producing a sub-history that still fails and is 1-minimal.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.check import (History, HistoryOp, check_key_history,
+                         check_linearizability, shrink_history)
+
+
+def op(op_id, kind, key, value, invoked, responded, obsolete=False,
+       client="c"):
+    return HistoryOp(op_id=op_id, client=client, kind=kind, key=key,
+                     value=value, invoked=invoked, responded=responded,
+                     obsolete=obsolete)
+
+
+class TestRegisterSemantics:
+    def test_sequential_write_then_read_passes(self):
+        history = History([
+            op(0, "write", "k", "v1", 0.0, 1.0),
+            op(1, "read", "k", "v1", 2.0, 3.0),
+        ])
+        assert check_linearizability(history).ok
+
+    def test_stale_read_fails(self):
+        history = History([
+            op(0, "write", "k", "v1", 0.0, 1.0),
+            op(1, "write", "k", "v2", 2.0, 3.0),
+            op(2, "read", "k", "v1", 4.0, 5.0),
+        ])
+        report = check_linearizability(history)
+        assert not report.ok
+        assert report.failing_keys == ["k"]
+
+    def test_read_of_never_written_value_fails(self):
+        history = History([op(0, "read", "k", "ghost", 0.0, 1.0)])
+        assert not check_linearizability(history).ok
+
+    def test_read_before_any_write_returns_initial(self):
+        history = History([op(0, "read", "k", None, 0.0, 1.0)])
+        assert check_linearizability(history).ok
+        assert not check_linearizability(
+            history, initial={"k": "loaded"}).ok
+        history2 = History([op(0, "read", "k", "loaded", 0.0, 1.0)])
+        assert check_linearizability(history2,
+                                     initial={"k": "loaded"}).ok
+
+    def test_concurrent_writes_allow_either_order(self):
+        for winner in ("v1", "v2"):
+            history = History([
+                op(0, "write", "k", "v1", 0.0, 5.0),
+                op(1, "write", "k", "v2", 0.0, 5.0),
+                op(2, "read", "k", winner, 6.0, 7.0),
+            ])
+            assert check_linearizability(history).ok, winner
+
+    def test_obsolete_write_is_a_no_op(self):
+        # The absorbed write's value must NOT satisfy a later read,
+        # and its presence must not break an otherwise-valid history.
+        history = History([
+            op(0, "write", "k", "v1", 0.0, 1.0),
+            op(1, "write", "k", "lost", 2.0, 3.0, obsolete=True),
+            op(2, "read", "k", "v1", 4.0, 5.0),
+        ])
+        assert check_linearizability(history).ok
+        stale = History([
+            op(0, "write", "k", "v1", 0.0, 1.0),
+            op(1, "write", "k", "lost", 2.0, 3.0, obsolete=True),
+            op(2, "read", "k", "lost", 4.0, 5.0),
+        ])
+        assert not check_linearizability(stale).ok
+
+    def test_pending_write_may_or_may_not_take_effect(self):
+        pending = op(1, "write", "k", "v2", 2.0, None)
+        observed = History([
+            op(0, "write", "k", "v1", 0.0, 1.0), pending,
+            op(2, "read", "k", "v2", 3.0, 4.0),
+        ])
+        assert check_linearizability(observed).ok
+        unobserved = History([
+            op(0, "write", "k", "v1", 0.0, 1.0), pending,
+            op(2, "read", "k", "v1", 3.0, 4.0),
+        ])
+        assert check_linearizability(unobserved).ok
+
+    def test_pending_write_cannot_linearize_before_invocation(self):
+        # The pending write was invoked after the read responded, so
+        # the read can never observe it.
+        history = History([
+            op(0, "read", "k", "v9", 0.0, 1.0),
+            op(1, "write", "k", "v9", 2.0, None),
+        ])
+        assert not check_linearizability(history).ok
+
+    def test_keys_check_independently(self):
+        history = History([
+            op(0, "write", "a", "v1", 0.0, 1.0),
+            op(1, "write", "b", "w1", 0.0, 1.0),
+            op(2, "read", "a", "v1", 2.0, 3.0),
+            op(3, "read", "b", "bogus", 2.0, 3.0),
+        ])
+        report = check_linearizability(history)
+        assert report.keys["a"].ok
+        assert not report.keys["b"].ok
+
+    def test_witness_is_a_valid_linearization_order(self):
+        ops = [
+            op(0, "write", "k", "v1", 0.0, 4.0),
+            op(1, "write", "k", "v2", 0.0, 4.0),
+            op(2, "read", "k", "v1", 5.0, 6.0),
+        ]
+        report = check_key_history(ops, key="k")
+        assert report.ok
+        # v2 must be linearized before v1 for the read to see v1.
+        assert report.witness.index(1) < report.witness.index(0)
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis properties
+# ---------------------------------------------------------------------------
+
+KEYS = ("a", "b")
+
+
+@st.composite
+def sequential_ops(draw, min_writes=0, max_ops=10, max_jitter=5.0):
+    """Ops generated by *executing* a register sequentially (op i takes
+    effect at time i), then widening each interval around its
+    linearization point — widening preserves linearizability, so the
+    result is linearizable by construction."""
+    n = draw(st.integers(min_value=2, max_value=max_ops))
+    registers = {}
+    ops = []
+    writes = 0
+    for i in range(n):
+        key = draw(st.sampled_from(KEYS))
+        is_write = draw(st.booleans())
+        before = draw(st.floats(min_value=0.0, max_value=max_jitter,
+                                allow_nan=False))
+        after = draw(st.floats(min_value=0.0, max_value=max_jitter,
+                               allow_nan=False))
+        point = float(i)
+        if is_write:
+            value = f"v{i}"
+            registers[key] = value
+            writes += 1
+        else:
+            value = registers.get(key)
+        ops.append(op(i, "write" if is_write else "read", key, value,
+                      point - before, point + after))
+    if writes < min_writes:
+        for i in range(min_writes - writes):
+            extra = n + i
+            key = draw(st.sampled_from(KEYS))
+            ops.append(op(extra, "write", key, f"v{extra}",
+                          float(extra), float(extra)))
+    return ops
+
+
+class TestProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(sequential_ops())
+    def test_known_linearizable_histories_always_pass(self, ops):
+        assert check_linearizability(History(ops)).ok
+
+    @settings(max_examples=80, deadline=None)
+    @given(sequential_ops(min_writes=2, max_jitter=0.49))
+    def test_injected_stale_read_always_fails(self, ops):
+        # Jitter < 0.5 keeps real-time order == execution order, so
+        # any non-final write's value is stale for a read issued after
+        # everything responded.
+        writes_by_key = {}
+        for o in ops:
+            if o.kind == "write":
+                writes_by_key.setdefault(o.key, []).append(o)
+        key, stale = next(
+            ((k, ws[0]) for k, ws in writes_by_key.items()
+             if len(ws) >= 2),
+            (None, None))
+        if key is None:  # a single write per key: pick cross-key pair
+            key, ws = next(iter(writes_by_key.items()))
+            stale = None  # read a value never written to this key
+        end = max(o.responded for o in ops) + 1.0
+        value = stale.value if stale is not None else "never-written"
+        bad = ops + [op(10_000, "read", key, value, end, end + 1.0)]
+        assert not check_linearizability(History(bad)).ok
+
+    @settings(max_examples=40, deadline=None)
+    @given(sequential_ops(min_writes=2, max_jitter=0.49))
+    def test_shrinking_preserves_failure_and_is_1_minimal(self, ops):
+        writes_by_key = {}
+        for o in ops:
+            if o.kind == "write":
+                writes_by_key.setdefault(o.key, []).append(o)
+        key, stale = next(
+            ((k, ws[0]) for k, ws in writes_by_key.items()
+             if len(ws) >= 2),
+            (None, None))
+        if key is None:
+            key = next(iter(writes_by_key))
+            stale = None
+        end = max(o.responded for o in ops) + 1.0
+        value = stale.value if stale is not None else "never-written"
+        failing = [o for o in ops if o.key == key]
+        failing = failing + [op(10_000, "read", key, value, end,
+                                end + 1.0)]
+        shrunk = shrink_history(failing)
+        assert not check_key_history(shrunk).ok
+        assert len(shrunk) <= len(failing)
+        # 1-minimality: removing any single op makes it pass.
+        for i in range(len(shrunk)):
+            rest = shrunk[:i] + shrunk[i + 1:]
+            assert check_key_history(rest).ok

@@ -291,3 +291,32 @@ class TestAcceptance:
         assert result.fault_counters.dropped > 0
         assert counters.inv_retransmits > 0, \
             "loss was injected but no retransmission was needed?"
+
+
+class TestDurableLinearizability:
+    """Post-recovery reads never observe values the
+    durable-linearizability rules forbid (ISSUE 5 satellite).
+
+    ``run_check`` crashes a follower mid-workload, snapshots its NVM at
+    the crash instant, recovers it, and then checks the durability
+    floor/validity rules plus probe reads on every alive node — per
+    persistency model.  This is the implementation-level counterpart of
+    the runtime monitor's invariant pass above."""
+
+    @pytest.mark.parametrize("config", ARCHES, ids=lambda c: c.name)
+    @pytest.mark.parametrize(
+        "model", ["synch", "strict", "renf", "event", "scope"])
+    def test_post_recovery_reads_respect_durability_rules(self, config,
+                                                          model):
+        from repro.check import run_check
+
+        report = run_check(model=model, config=config, nodes=3,
+                           ops_per_client=10, seeds=1,
+                           crash_points="uniform", crash_trials=1)
+        crashed = [run for run in report.runs
+                   if run.crash_at is not None]
+        assert crashed, "no crash/recover schedule was explored"
+        assert report.ok, (report.counterexample.detail
+                           if report.counterexample else report.to_dict())
+        assert all(run.durability_ok and run.linearizable
+                   for run in report.runs)
