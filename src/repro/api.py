@@ -35,6 +35,16 @@ The surface, by theme:
 * **Microservices** — :data:`MEDIA_LOGIN` / :data:`SOCIAL_LOGIN`
   workflows with :func:`run_microservice` (Fig. 14), and :func:`us`
   for microsecond literals.
+* **Sharding** — :class:`ShardRouter` (consistent-hash routing of the
+  keyspace across N independent protocol groups, same
+  ``write``/``read``/``persist_scope`` surface as one cluster),
+  :class:`HashRing`, :class:`ShardedWorkload`, and the executor pair
+  :class:`ShardedRunConfig` + :func:`run_sharded` returning a
+  :class:`ShardedResult` (deterministically merged metrics, history,
+  and trace — serial and parallel executors produce identical
+  results).  Merged histories are validated with
+  :func:`check_sharded_history` (:class:`ShardedCheckReport`): see
+  docs/sharding.md.
 * **Observability** — :class:`Observability` (attach via
   :meth:`MinosCluster.attach_obs`), :class:`MetricsRegistry` /
   :class:`LogHistogram`, the :class:`Span` / :class:`Segment` records,
@@ -52,7 +62,8 @@ from repro.bench.harness import (ExperimentConfig, ExperimentResult,
 from repro.check import (CheckReport, CheckWorkload, DurabilityReport,
                          History, HistoryOp, HistoryRecorder,
                          LinearizabilityReport, RecordingClient,
-                         check_durability, check_linearizability,
+                         ShardedCheckReport, check_durability,
+                         check_linearizability, check_sharded_history,
                          run_check, shrink_history)
 from repro.cluster.cluster import MinosCluster
 from repro.cluster.results import OpResult
@@ -69,8 +80,11 @@ from repro.metrics.stats import Metrics
 from repro.obs import (LogHistogram, MetricsRegistry, Observability,
                        Segment, Span, chrome_trace, validate_chrome_trace,
                        write_chrome_trace, write_jsonl)
+from repro.shard import (HashRing, ShardedResult, ShardedRunConfig,
+                         ShardRouter, run_sharded)
 from repro.verify import ModelChecker, ProtocolSpec, WriteDef
 from repro.workloads import MEDIA_LOGIN, SOCIAL_LOGIN
+from repro.workloads.sharding import ShardedWorkload
 from repro.workloads.ycsb import YcsbWorkload
 
 __all__ = [
@@ -125,6 +139,15 @@ __all__ = [
     "check_linearizability",
     "check_durability",
     "shrink_history",
+    # sharding
+    "ShardRouter",
+    "HashRing",
+    "ShardedWorkload",
+    "ShardedRunConfig",
+    "ShardedResult",
+    "run_sharded",
+    "ShardedCheckReport",
+    "check_sharded_history",
     # observability
     "Observability",
     "MetricsRegistry",

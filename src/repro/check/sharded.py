@@ -1,0 +1,192 @@
+"""Checking merged cross-shard histories (see :mod:`repro.shard`).
+
+A sharded run produces one history per shard, merged by
+:func:`repro.shard.merge.merge_histories` into disjoint ``op_id`` ranges
+(``shard * SHARD_OP_STRIDE + local``).  Checking the merge is subtler
+than checking a single group, for one reason: **per-shard simulated
+clocks are independent**, so comparing ``invoked`` / ``responded``
+across shards is meaningless.  Every rule here is therefore built from
+shard-local comparisons only:
+
+* *Linearizability* — a key lives on exactly one shard, so each per-key
+  sub-history is entirely shard-local and the single-group Wing & Gong
+  checker applies unchanged.  :func:`check_sharded_linearizability`
+  first asserts that single-shard-per-key invariant (a key appearing on
+  two shards means the ring or the router is broken — reported as its
+  own violation, not silently mis-checked), then delegates.
+* *Scope closure* — a scope's writes may span shards.  The sharded
+  [PERSIST]sc contract (see :class:`repro.shard.router.ShardRouter`) is
+  that each involved shard closes *its slice* of the scope: every shard
+  with an acked scope-``s`` write must also contain a completed
+  scope-``s`` persist invoked at-or-after that write's response, all in
+  that shard's own clock.  :func:`check_scope_closure` enforces exactly
+  that; per-slice durability *floors* then follow from the ordinary
+  single-group scope rule of :mod:`repro.check.durable`.
+* *Crash durability* — a crash is a shard-local event (one simulator,
+  one NVM snapshot), so :func:`check_sharded_durability` carves out the
+  crashed shard's slice and hands it to the single-group checker;
+  other shards' obligations are untouched by construction (no message
+  ever crosses shards).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.check.durable import (DurabilityReport, DurabilityViolation,
+                                 check_durability)
+from repro.check.history import History, split_shard
+from repro.check.wgl import LinearizabilityReport, check_linearizability
+from repro.core.model import DDPModel
+
+
+def shard_slices(merged: History) -> Dict[int, History]:
+    """Split a merged history back into per-shard histories.
+
+    Ops keep their merged ``op_id``s (reports stay addressable into the
+    merged history); shard-local order is preserved because the merge
+    preserved it.
+    """
+    slices: Dict[int, List] = {}
+    for op in merged:
+        slices.setdefault(split_shard(op.op_id), []).append(op)
+    return {shard: History(ops)
+            for shard, ops in sorted(slices.items())}
+
+
+def keys_spanning_shards(merged: History) -> Dict[Any, List[int]]:
+    """Keys whose ops appear on more than one shard (must be empty for
+    a well-routed history)."""
+    owners: Dict[Any, set] = {}
+    for op in merged:
+        if op.key is not None and op.kind != "persist":
+            owners.setdefault(op.key, set()).add(split_shard(op.op_id))
+    return {key: sorted(shards) for key, shards in owners.items()
+            if len(shards) > 1}
+
+
+def check_sharded_linearizability(
+        merged: History,
+        initial: Optional[Dict[Any, Any]] = None) -> LinearizabilityReport:
+    """Per-key linearizability of a merged sharded history.
+
+    Raises no cross-shard time comparison: the single-shard-per-key
+    invariant is checked first, and the per-key checker then only ever
+    sees ops from one shard's clock.
+    """
+    spanning = keys_spanning_shards(merged)
+    if spanning:
+        from repro.check.wgl import KeyReport
+
+        # A key on two shards means its per-key sub-history would mix
+        # incomparable clocks — fail those keys outright (states=0: the
+        # search never ran) and check nothing else.
+        report = LinearizabilityReport()
+        for key, shards in spanning.items():
+            ops = sum(1 for op in merged
+                      if op.key == key and op.kind != "persist")
+            report.keys[key] = KeyReport(key=key, ok=False, ops=ops,
+                                         states=0)
+        return report
+    return check_linearizability(merged, initial)
+
+
+def check_scope_closure(merged: History) -> DurabilityReport:
+    """The cross-shard scope-closure rule.
+
+    For every scope ``s`` and shard ``k``: if shard ``k`` holds an
+    acked scope-``s`` write, the shard's slice must contain a completed
+    scope-``s`` persist invoked at-or-after that write's response
+    (shard-local times).  Violations carry rule
+    ``"sharded-scope-closure"`` with the uncovered write (and the
+    scope's latest persist, if any) as evidence.
+    """
+    report = DurabilityReport(model="<Lin, Scope> (sharded)",
+                              crash_time=float("inf"))
+    for shard, chunk in shard_slices(merged).items():
+        persists_by_scope: Dict[int, List] = {}
+        for persist in chunk.persists():
+            if persist.responded is not None:
+                scope = persist.scope if persist.scope is not None else 0
+                persists_by_scope.setdefault(scope, []).append(persist)
+        for op in chunk.writes():
+            if op.pending or op.obsolete or op.scope is None:
+                continue
+            covering = [p for p in persists_by_scope.get(op.scope, ())
+                        if p.invoked >= op.responded]
+            if not covering:
+                later = persists_by_scope.get(op.scope, [])
+                evidence = ((op.op_id,) if not later else
+                            (op.op_id, later[-1].op_id))
+                report.violations.append(DurabilityViolation(
+                    rule="sharded-scope-closure",
+                    key=op.scope,
+                    detail=(f"shard {shard}: write op {op.op_id} "
+                            f"(key={op.key!r}) of scope {op.scope} has no "
+                            "completed [PERSIST]sc invoked after its "
+                            "response on its own shard"),
+                    evidence=evidence))
+    return report
+
+
+def check_sharded_durability(model: DDPModel, merged: History,
+                             crash_shard: int, crash_time: float,
+                             snapshot: Dict[Any, Any],
+                             initial: Optional[Dict[Any, Any]] = None
+                             ) -> DurabilityReport:
+    """Durable-linearizability of one shard's crash.
+
+    *crash_time* is in the crashed shard's clock and *snapshot* is that
+    shard's post-crash NVM content.  The other shards' simulators never
+    interacted with the crashed one, so the single-group checker on the
+    crashed slice is the complete check.
+    """
+    chunk = shard_slices(merged).get(crash_shard, History())
+    return check_durability(model, chunk, crash_time, snapshot,
+                            initial=initial)
+
+
+@dataclass
+class ShardedCheckReport:
+    """Everything checked about one merged sharded history."""
+
+    linearizability: LinearizabilityReport
+    scope_closure: DurabilityReport
+    shards: int = 0
+    spanning_keys: Dict[Any, List[int]] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return (self.linearizability.ok and self.scope_closure.ok
+                and not self.spanning_keys)
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "shards": self.shards,
+            "spanning_keys": {str(k): v
+                              for k, v in self.spanning_keys.items()},
+            "linearizability": self.linearizability.to_dict(),
+            "scope_closure": self.scope_closure.to_dict(),
+        }
+
+
+def check_sharded_history(model: DDPModel, merged: History,
+                          initial: Optional[Dict[Any, Any]] = None
+                          ) -> ShardedCheckReport:
+    """Full fault-free validation of a merged sharded history:
+    routing (no key spans shards), per-key linearizability, and — for
+    scope-using models — cross-shard scope closure."""
+    spanning = keys_spanning_shards(merged)
+    lin = check_sharded_linearizability(merged, initial)
+    if model.uses_scopes:
+        closure = check_scope_closure(merged)
+    else:
+        closure = DurabilityReport(model=model.name,
+                                   crash_time=float("inf"))
+    return ShardedCheckReport(
+        linearizability=lin,
+        scope_closure=closure,
+        shards=len(shard_slices(merged)),
+        spanning_keys=spanning)

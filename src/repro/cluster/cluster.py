@@ -18,7 +18,8 @@ Typical use::
 from __future__ import annotations
 
 import gc
-from typing import Any, Iterable, List, Optional
+import random
+from typing import Any, Iterable, List, Optional, Union
 
 from repro.cluster.client import ClosedLoopClient, OpenLoopClient
 from repro.cluster.results import OpResult
@@ -80,14 +81,21 @@ class MinosCluster:
         :data:`~repro.core.config.MINOS_O`, or any Fig. 12 ablation preset.
     params:
         Hardware parameters (Tables II/III defaults).
+    seed:
+        Root seed for cluster-internal randomness (today: the open-loop
+        clients' arrival processes).  Two clusters built with different
+        roots draw disjoint streams even inside one process — the
+        sharded runner gives every shard its own root.
     """
 
     def __init__(self, model: DDPModel = LIN_SYNCH,
                  config: ProtocolConfig = MINOS_B,
-                 params: MachineParams = DEFAULT_MACHINE) -> None:
+                 params: MachineParams = DEFAULT_MACHINE,
+                 seed: Union[int, str] = 0) -> None:
         self.model = model
         self.config = config
         self.params = params
+        self.seed = seed
         self.sim = Simulator()
         self.network = Network(self.sim)
         self.metrics = Metrics()
@@ -273,13 +281,20 @@ class MinosCluster:
         if clients_per_node < 1:
             raise ConfigError("clients_per_node must be >= 1")
         self.load_records(workload.initial_records())
+        # Independent per-client seeds spawned from the cluster's root.
+        # The old formula (node_id * 1000 + client_idx) collided once
+        # clients_per_node exceeded 1000 (node 0/client 1000 == node
+        # 1/client 0) and welded every same-shaped cluster in a process
+        # to the same arrival streams; 63-bit draws from a root-seeded
+        # spawner are collision-free and stay deterministic per root.
+        spawner = random.Random(f"repro.cluster/{self.seed}/openloop")
         clients = []
         for node in self.nodes:
             for client_idx in range(clients_per_node):
                 ops = workload.ops_for(node.node_id, client_idx)
                 clients.append(OpenLoopClient(
                     self, node.engine, ops, rate_per_client,
-                    seed=node.node_id * 1000 + client_idx))
+                    seed=spawner.getrandbits(63)))
         self.metrics.started_at = self.sim.now
         for i, client in enumerate(clients):
             self.sim.spawn(client.run(), name=f"openloop.{i}")

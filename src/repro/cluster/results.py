@@ -9,9 +9,8 @@ durable timestamps the DDP model established for the touched key.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
-from typing import Any, Iterator, Optional
+from typing import Any, Optional
 
 from repro.core.timestamp import Timestamp
 
@@ -55,17 +54,3 @@ class OpResult:
     def ts(self) -> Optional[Timestamp]:
         """The operation's volatile timestamp (the pre-facade name)."""
         return self.volatile_ts
-
-    def __iter__(self) -> Iterator[Any]:
-        """Deprecated tuple-unpacking shim, removed next release.
-
-        Yields ``(value, latency, volatile_ts, durable_ts)`` so code
-        written against the old positional returns keeps working for one
-        release, loudly.
-        """
-        warnings.warn(
-            "tuple-unpacking an OpResult is deprecated; use the named "
-            "fields (value, latency, volatile_ts, durable_ts)",
-            DeprecationWarning, stacklevel=2)
-        return iter((self.value, self.latency, self.volatile_ts,
-                     self.durable_ts))

@@ -17,10 +17,9 @@ from typing import Any, Optional
 from repro.core.config import ProtocolConfig
 from repro.core.engine import (EngineBase, ReadResult, WriteResult,
                                WriteTxn, validate_model)
-from repro.core.messages import Message, MsgType, next_write_id
+from repro.core.messages import Message, MsgType
 from repro.core.metadata import RecordMeta
 from repro.core.model import DDPModel, Persistency
-from repro.core.scope import next_persist_id
 from repro.core.timestamp import NULL_TS, Timestamp
 from repro.errors import ProtocolError
 from repro.hw.host import Host
@@ -158,7 +157,7 @@ class BaselineEngine(EngineBase):
         started = self.sim.now
         # Minted unconditionally (not under the obs guard): attaching the
         # recorder must not shift the write ids an unobserved run assigns.
-        write_id = next_write_id()
+        write_id = self.sim.next_write_id()
         self.metrics.counters.writes_started += 1
         if self.tracer is not None:
             self.trace("write", "start", key=key)
@@ -408,11 +407,11 @@ class BaselineEngine(EngineBase):
             raise ProtocolError(
                 f"client_persist requires <Lin, Scope>, not {self.model}")
         started = self.sim.now
-        write_id = next_write_id()  # unconditional: see client_write
+        write_id = self.sim.next_write_id()  # unconditional: see client_write
         if self.obs is not None:
             self.obs.op_begin(self.node_id, "persist", write_id, key=scope)
         yield from self.host.compute(self.params.host.request_overhead)
-        persist_id = next_persist_id()
+        persist_id = self.sim.next_persist_id()
         msg = self.stamp(Message(type=MsgType.PERSIST, key=None, ts=NULL_TS,
                                  src=self.node_id, scope=scope,
                                  persist_id=persist_id, write_id=write_id))
@@ -460,7 +459,7 @@ class BaselineEngine(EngineBase):
         persist) the local replica, launch the INVs for lazy propagation,
         and return — no ACK/VAL round, no RDLock."""
         started = self.sim.now
-        write_id = next_write_id()  # unconditional: see client_write
+        write_id = self.sim.next_write_id()  # unconditional: see client_write
         self.metrics.counters.writes_started += 1
         self.trace("write", "start (EC)", key=key)
         if self.obs is not None:

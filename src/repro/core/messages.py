@@ -23,7 +23,12 @@ _write_ids = itertools.count(1)
 
 
 def next_write_id() -> int:
-    """A unique id for each client-write transaction (debug/bookkeeping)."""
+    """Fallback write-id mint for :class:`Message` objects built outside
+    a simulation (tests, ad-hoc construction).  The engines never use
+    it: they mint ids from :meth:`repro.sim.kernel.Simulator.next_write_id`
+    so identical runs produce identical id sequences no matter what else
+    ran in the process — this module-global counter keeps no cross-run
+    promise."""
     return next(_write_ids)
 
 

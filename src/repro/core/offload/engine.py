@@ -25,10 +25,9 @@ from typing import Any, Dict, Optional, Tuple
 from repro.core.config import ProtocolConfig
 from repro.core.engine import (EngineBase, ReadResult, WriteResult,
                                WriteTxn, validate_model)
-from repro.core.messages import Message, MsgType, next_write_id
+from repro.core.messages import Message, MsgType
 from repro.core.metadata import RecordMeta
 from repro.core.model import DDPModel, Persistency
-from repro.core.scope import next_persist_id
 from repro.core.timestamp import NULL_TS, Timestamp
 from repro.errors import ProtocolError
 from repro.hw.host import Host
@@ -164,7 +163,7 @@ class OffloadEngine(EngineBase):
         started = self.sim.now
         # Minted unconditionally (not under the obs guard): attaching the
         # recorder must not shift the write ids an unobserved run assigns.
-        write_id = next_write_id()
+        write_id = self.sim.next_write_id()
         self.metrics.counters.writes_started += 1
         if self.tracer is not None:
             self.trace("write", "start", key=key)
@@ -279,11 +278,11 @@ class OffloadEngine(EngineBase):
             raise ProtocolError(
                 f"client_persist requires <Lin, Scope>, not {self.model}")
         started = self.sim.now
-        write_id = next_write_id()  # unconditional: see client_write
+        write_id = self.sim.next_write_id()  # unconditional: see client_write
         if self.obs is not None:
             self.obs.op_begin(self.node_id, "persist", write_id, key=scope)
         yield from self.host.compute(self.params.host.request_overhead)
-        persist_id = next_persist_id()
+        persist_id = self.sim.next_persist_id()
         msg = self.stamp(Message(type=MsgType.PERSIST, key=None, ts=NULL_TS,
                                  src=self.node_id, scope=scope,
                                  persist_id=persist_id, write_id=write_id))
@@ -351,7 +350,8 @@ class OffloadEngine(EngineBase):
             self.metrics.counters.writes_obsolete += 1
             return WriteResult(key, ts, True, self.sim.now - started)
         msg = self.stamp(Message(type=MsgType.INV, key=key, ts=ts,
-                                 src=self.node_id, value=value, size=size))
+                                 src=self.node_id, value=value, size=size,
+                                 write_id=self.sim.next_write_id()))
         txn = self.register_txn(key, ts, msg.write_id)
         yield from self._host_deposit_invs(msg)
         yield txn.host_complete

@@ -13,18 +13,10 @@ write's local persist completed.  The PERSIST handler waits on all of them
 
 from __future__ import annotations
 
-import itertools
 from typing import Dict, List
 
 from repro.sim.events import Event
 from repro.sim.kernel import Simulator
-
-_persist_ids = itertools.count(1)
-
-
-def next_persist_id() -> int:
-    """Unique id for a [PERSIST]sc transaction."""
-    return next(_persist_ids)
 
 
 class ScopeTracker:

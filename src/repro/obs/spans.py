@@ -13,7 +13,7 @@ transactions (the protocol already threads it through every INV/ACK/VAL
 message, so coordinator and follower segments line up for free).  Reads
 have no protocol-level id; the recorder mints them *negative* ids from a
 private counter so they can never collide with write ids and never
-perturb the global ``next_write_id`` sequence.
+perturb the simulator's write-id sequence.
 
 An **instant** is a point event (a ``glb_durableTS`` advance, a fault
 injection, a VAL re-broadcast) that has a time but no duration.

@@ -1,0 +1,42 @@
+"""Sharded multi-group MINOS deployments.
+
+The paper evaluates a single protocol group, where every write fans out
+to all nodes (§IV) — so group size is a cost, not a capacity.  This
+package scales the *keyspace* instead: a consistent-hash ring
+(:mod:`~repro.shard.hashing`) partitions keys across N independent
+protocol groups, a :class:`~repro.shard.router.ShardRouter` preserves
+the single-cluster client contract on top of them, and a seeded
+multiprocessing executor (:mod:`~repro.shard.parallel`) runs the
+per-shard calendars in parallel workers with a deterministic merge
+(:mod:`~repro.shard.merge`) of metrics, histories, and traces.
+Cross-shard histories are validated by :mod:`repro.check.sharded`.
+"""
+
+from repro.shard.hashing import DEFAULT_VNODES, HashRing, fnv1a64, \
+    stable_key_hash
+from repro.shard.merge import (SHARD_OP_STRIDE, SHARD_PID_STRIDE,
+                               merge_histories, merge_metrics,
+                               merge_traces, shard_pid, split_shard)
+from repro.shard.parallel import (ShardedResult, ShardedRunConfig,
+                                  ShardRunResult, run_shard, run_sharded)
+from repro.shard.router import ShardRouter
+
+__all__ = [
+    "DEFAULT_VNODES",
+    "HashRing",
+    "SHARD_OP_STRIDE",
+    "SHARD_PID_STRIDE",
+    "ShardRouter",
+    "ShardRunResult",
+    "ShardedResult",
+    "ShardedRunConfig",
+    "fnv1a64",
+    "merge_histories",
+    "merge_metrics",
+    "merge_traces",
+    "run_shard",
+    "run_sharded",
+    "shard_pid",
+    "split_shard",
+    "stable_key_hash",
+]

@@ -1,0 +1,146 @@
+"""Deterministic merging of per-shard run artifacts.
+
+Each shard of a sharded deployment is an independent :class:`MinosCluster`
+with its own simulator, so a sharded run produces N metrics sinks, N
+client histories, and N observability traces.  These helpers fold them
+into single objects with a **fixed, shard-ordered** layout — the serial
+and parallel executors both funnel through this module, which is what
+makes "serial ≡ parallel" a checkable equation rather than a hope.
+
+Namespacing conventions (shared with :mod:`repro.check.sharded` and the
+docs):
+
+* history ``op_id``: ``shard * SHARD_OP_STRIDE + local_op_id``; client
+  names gain an ``s<shard>:`` prefix.
+* metrics ``comm_spans`` / ``follower_handling``: re-keyed from
+  ``write_id`` to ``(shard, write_id)`` (the breakdown reader only ever
+  matches keys between the two maps, so tuple keys pass through it).
+* chrome-trace ``pid``: ``shard * SHARD_PID_STRIDE + node`` with the
+  fabric pseudo-node (−1) mapped to slot ``FABRIC_SLOT``; process names
+  become ``shard<k>/<label>`` so Perfetto groups lanes per shard.
+
+Per-shard simulated clocks are **independent** — merged timestamps are
+only comparable within one shard.  Merged metrics therefore define the
+run's duration as the *maximum* shard duration (shards run concurrently
+in the modeled deployment), not the sum.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.check.history import (SHARD_OP_STRIDE, History, HistoryOp,
+                                 split_shard)
+from repro.errors import ConfigError
+from repro.metrics.stats import Metrics
+
+__all__ = ["SHARD_OP_STRIDE", "SHARD_PID_STRIDE", "FABRIC_SLOT",
+           "merge_metrics", "merge_histories", "merge_traces",
+           "shard_pid", "split_shard"]
+
+#: chrome-trace pid namespace width per shard.
+SHARD_PID_STRIDE = 100
+
+#: pid slot (within a shard's stride) of the fabric pseudo-node.
+FABRIC_SLOT = SHARD_PID_STRIDE - 1
+
+
+def merge_metrics(per_shard: Sequence[Metrics]) -> Metrics:
+    """Fold per-shard :class:`Metrics` into one, in shard order.
+
+    Latency samples are concatenated shard-by-shard (summaries sort, so
+    order only matters for byte-identity of the merge itself), counters
+    are summed, and the write-id-keyed maps are re-keyed by
+    ``(shard, write_id)`` so same-numbered writes on different shards
+    cannot collide.
+    """
+    if not per_shard:
+        raise ConfigError("nothing to merge: no shard metrics")
+    merged = Metrics()
+    for shard, metrics in enumerate(per_shard):
+        for sample in metrics.write_latency.samples:
+            merged.write_latency.add(sample)
+        for sample in metrics.read_latency.samples:
+            merged.read_latency.add(sample)
+        for sample in metrics.persist_latency.samples:
+            merged.persist_latency.add(sample)
+        for field in dataclasses.fields(merged.counters):
+            setattr(merged.counters, field.name,
+                    getattr(merged.counters, field.name) +
+                    getattr(metrics.counters, field.name))
+        for write_id, span in metrics.comm_spans.items():
+            merged.comm_spans[(shard, write_id)] = span
+        for write_id, durations in metrics.follower_handling.items():
+            merged.follower_handling[(shard, write_id)] = list(durations)
+    # Shards run concurrently: the deployment's measured phase starts at
+    # the earliest shard start and its duration is the slowest shard's.
+    starts = [m.started_at for m in per_shard if m.started_at is not None]
+    merged.started_at = min(starts) if starts else None
+    durations = [m.duration for m in per_shard]
+    if merged.started_at is not None:
+        merged.finished_at = merged.started_at + max(durations)
+    return merged
+
+
+def merge_histories(per_shard: Sequence[Sequence[HistoryOp]]) -> History:
+    """Fold per-shard op lists into one :class:`History`.
+
+    Ops are renumbered into disjoint per-shard ``op_id`` ranges and their
+    client names prefixed with the shard, preserving shard-local order.
+    Timestamps stay shard-local (clocks are independent): any checker
+    consuming the merged history must only compare times within a shard
+    — which is exactly what the per-key checkers do, since a key lives
+    on one shard.
+    """
+    merged = History()
+    for shard, ops in enumerate(per_shard):
+        if len(ops) >= SHARD_OP_STRIDE:
+            raise ConfigError(
+                f"shard {shard} recorded {len(ops)} ops, overflowing the "
+                f"{SHARD_OP_STRIDE}-op shard namespace")
+        for op in ops:
+            merged.append(dataclasses.replace(
+                op,
+                op_id=shard * SHARD_OP_STRIDE + op.op_id,
+                client=f"s{shard}:{op.client}"))
+    return merged
+
+
+def shard_pid(shard: int, node: int) -> int:
+    """The merged-trace pid of *node* (−1: fabric) on *shard*."""
+    slot = node if node >= 0 else FABRIC_SLOT
+    if not 0 <= slot < SHARD_PID_STRIDE:
+        raise ConfigError(
+            f"node {node} does not fit the {SHARD_PID_STRIDE}-wide "
+            "per-shard pid stride")
+    return shard * SHARD_PID_STRIDE + slot
+
+
+def merge_traces(per_shard: Sequence[Optional[Dict[str, Any]]]
+                 ) -> Dict[str, Any]:
+    """Fold per-shard Chrome trace payloads into one timeline.
+
+    Every event's ``pid`` is rewritten through :func:`shard_pid` and
+    process-name metadata gains a ``shard<k>/`` prefix; events keep
+    their shard-local order.  Shards with no trace (``None``) are
+    skipped.
+    """
+    events: List[Dict[str, Any]] = []
+    for shard, payload in enumerate(per_shard):
+        if payload is None:
+            continue
+        for event in payload.get("traceEvents", []):
+            clone = dict(event)
+            clone["pid"] = shard_pid(shard, event["pid"])
+            if clone.get("ph") == "M" and clone.get("name") == "process_name":
+                args = dict(clone.get("args", {}))
+                args["name"] = f"shard{shard}/{args.get('name', '?')}"
+                clone["args"] = args
+            events.append(clone)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ns",
+        "otherData": {"generator": "repro.shard",
+                      "format": "repro-obs/1"},
+    }

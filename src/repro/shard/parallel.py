@@ -1,0 +1,240 @@
+"""Seeded multiprocessing executor for sharded runs.
+
+Shards are *independent by construction* — each is its own
+:class:`MinosCluster` with its own simulator, RNG roots, and metrics
+sink, and no message ever crosses shards — so their calendars can run in
+separate OS processes with no coordination at all.  :func:`run_sharded`
+exploits that: it fans the per-shard runs out over a process pool and
+folds the results through :mod:`repro.shard.merge`, and because every
+shard's execution is a pure function of :class:`ShardedRunConfig` (the
+house determinism invariant), ``workers=1`` and ``workers=8`` produce
+**identical** merged output — pinned by :meth:`ShardedResult.fingerprint`
+and ``tests/shard/test_parallel.py``.
+
+Everything a worker returns must cross a pickle boundary, which shapes
+the design: workers ship back the plain-data :class:`Metrics`,
+:class:`~repro.check.history.HistoryOp` lists, and an already-exported
+Chrome trace payload — never the cluster or the
+:class:`~repro.obs.Observability` recorder, which hold simulator
+references.
+
+Workload note: each shard runs a ``YcsbWorkload`` with a ``shard_filter``
+that *redraws* foreign keys, so every shard issues the full
+``clients_per_node * nodes_per_shard * requests_per_client`` stream over
+its own slice of the table.  Adding shards therefore scales total work
+up (scale-out), while per-shard cost stays flat; the shard-scaling
+benchmark (``macro_sharded``) compares against a single group of
+``shards * nodes_per_shard`` machines doing the same total ops to show
+what sharding buys.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.check.history import History, HistoryOp, HistoryRecorder, \
+    RecordingClient
+from repro.cluster.client import ClosedLoopClient
+from repro.cluster.cluster import MinosCluster
+from repro.core.config import config_by_name
+from repro.core.model import model_by_name
+from repro.errors import ConfigError
+from repro.hw.params import DEFAULT_MACHINE
+from repro.metrics.stats import Metrics
+from repro.shard.hashing import DEFAULT_VNODES, HashRing
+from repro.shard.merge import merge_histories, merge_metrics, merge_traces
+from repro.workloads.ycsb import YcsbWorkload
+
+
+@dataclass(frozen=True)
+class ShardedRunConfig:
+    """Everything that determines a sharded run, in picklable form.
+
+    Model and architecture are carried as *names* (resolved by
+    :func:`repro.core.model.model_by_name` /
+    :func:`repro.core.config.config_by_name` inside each worker) so the
+    config pickles small and never drags engine classes across the
+    process boundary.
+    """
+
+    shards: int = 4
+    model: str = "synch"
+    arch: str = "MINOS-B"
+    nodes_per_shard: int = 5
+    records: int = 200
+    requests_per_client: int = 80
+    clients_per_node: int = 2
+    write_fraction: float = 0.5
+    distribution: str = "zipfian"
+    seed: int = 42
+    persist_every: Optional[int] = None
+    value_size: Optional[int] = None
+    vnodes: int = DEFAULT_VNODES
+    record_history: bool = False
+    record_trace: bool = False
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ConfigError(f"shards must be >= 1, got {self.shards}")
+        # Resolve eagerly so a typo fails in the caller, not the pool.
+        model_by_name(self.model)
+        config_by_name(self.arch)
+
+
+@dataclass
+class ShardRunResult:
+    """What one shard's worker ships back (plain data, picklable)."""
+
+    shard: int
+    metrics: Metrics
+    events_processed: int
+    ops: List[HistoryOp] = field(default_factory=list)
+    trace: Optional[Dict[str, Any]] = None
+
+
+def run_shard(config: ShardedRunConfig, shard: int) -> ShardRunResult:
+    """Run one shard's group to completion (pure function of its args).
+
+    Top-level so it pickles under the ``spawn`` start method as well as
+    ``fork``.  Client streams are drawn with *global* node ids
+    (``shard * nodes_per_shard + local``) so no two shards replay the
+    same YCSB substreams.
+    """
+    if not 0 <= shard < config.shards:
+        raise ConfigError(f"shard {shard} out of range 0..{config.shards-1}")
+    ring = HashRing(config.shards, config.vnodes)
+    workload = YcsbWorkload(
+        records=config.records,
+        requests_per_client=config.requests_per_client,
+        write_fraction=config.write_fraction,
+        distribution=config.distribution,
+        seed=config.seed,
+        persist_every=config.persist_every,
+        value_size=config.value_size,
+        shard_filter=lambda key: ring.shard_of(key) == shard)
+    cluster = MinosCluster(
+        model=model_by_name(config.model),
+        config=config_by_name(config.arch),
+        params=DEFAULT_MACHINE.with_nodes(config.nodes_per_shard),
+        seed=f"{config.seed}/shard{shard}")
+    obs = cluster.attach_obs() if config.record_trace else None
+    recorder = (HistoryRecorder(cluster.sim)
+                if config.record_history else None)
+    cluster.load_records(workload.initial_records())
+
+    clients = []
+    for node in cluster.nodes:
+        global_node = shard * config.nodes_per_shard + node.node_id
+        for client_idx in range(config.clients_per_node):
+            ops = workload.ops_for(global_node, client_idx)
+            if recorder is not None:
+                clients.append(RecordingClient(
+                    cluster, node.engine, ops, recorder, client_idx,
+                    name=f"n{global_node}c{client_idx}"))
+            else:
+                clients.append(ClosedLoopClient(cluster, node.engine, ops,
+                                                client_idx))
+    cluster.metrics.started_at = cluster.sim.now
+    processes = [cluster.sim.spawn(c.run(), name=f"client.{i}")
+                 for i, c in enumerate(clients)]
+    cluster.sim.run()
+    unfinished = [p.name for p in processes if not p.triggered]
+    if unfinished:
+        raise ConfigError(f"shard {shard} deadlocked; unfinished "
+                          f"drivers: {unfinished}")
+    cluster.metrics.finished_at = max(
+        (c.finished_at for c in clients if c.finished_at is not None),
+        default=cluster.sim.now)
+
+    trace = None
+    if obs is not None:
+        from repro.obs.export import chrome_trace
+        trace = chrome_trace(obs)
+    return ShardRunResult(
+        shard=shard,
+        metrics=cluster.metrics,
+        events_processed=cluster.sim.events_processed,
+        ops=recorder.ops if recorder is not None else [],
+        trace=trace)
+
+
+@dataclass
+class ShardedResult:
+    """The merged outcome of a sharded run (serial or parallel)."""
+
+    config: ShardedRunConfig
+    workers: int
+    metrics: Metrics
+    events_processed: int
+    history: History
+    trace: Optional[Dict[str, Any]]
+    per_shard_events: List[int]
+
+    def fingerprint(self) -> str:
+        """SHA-256 over a canonical rendering of everything merged.
+
+        Two runs of the same :class:`ShardedRunConfig` must produce the
+        same fingerprint **regardless of worker count or start method**
+        — the executor's correctness contract.
+        """
+        canonical = {
+            "config": asdict(self.config),
+            "metrics": self.metrics.to_dict(),
+            "write_samples": self.metrics.write_latency.samples,
+            "read_samples": self.metrics.read_latency.samples,
+            "persist_samples": self.metrics.persist_latency.samples,
+            "events": self.per_shard_events,
+            "history": self.history.to_dicts(),
+            "trace_events": (None if self.trace is None
+                             else self.trace["traceEvents"]),
+        }
+        blob = json.dumps(canonical, sort_keys=True, default=str)
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _pool_context():
+    """``fork`` where available (cheap, shares the warmed-up import
+    state), ``spawn`` otherwise (macOS/Windows default)."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - platform without fork
+        return multiprocessing.get_context("spawn")
+
+
+def run_sharded(config: ShardedRunConfig,
+                workers: int = 1) -> ShardedResult:
+    """Run every shard of *config* and merge the results.
+
+    ``workers <= 1`` runs the shards sequentially in-process (no pool,
+    no pickling); ``workers > 1`` distributes them over a process pool.
+    Both paths order results by shard id before merging, so the merged
+    output is identical — verify with :meth:`ShardedResult.fingerprint`
+    or ``repro shard --selfcheck``.
+    """
+    if workers < 0:
+        raise ConfigError(f"workers must be >= 0, got {workers}")
+    shard_ids = list(range(config.shards))
+    if workers <= 1 or config.shards == 1:
+        results = [run_shard(config, shard) for shard in shard_ids]
+    else:
+        context = _pool_context()
+        with context.Pool(min(workers, config.shards)) as pool:
+            results = pool.starmap(
+                run_shard, [(config, shard) for shard in shard_ids])
+    results.sort(key=lambda r: r.shard)
+
+    merged_trace = None
+    if config.record_trace:
+        merged_trace = merge_traces([r.trace for r in results])
+    return ShardedResult(
+        config=config,
+        workers=workers,
+        metrics=merge_metrics([r.metrics for r in results]),
+        events_processed=sum(r.events_processed for r in results),
+        history=merge_histories([r.ops for r in results]),
+        trace=merged_trace,
+        per_shard_events=[r.events_processed for r in results])

@@ -1,0 +1,176 @@
+"""The sharded cluster's client layer.
+
+A :class:`ShardRouter` fronts N independent :class:`MinosCluster` groups
+— one full MINOS protocol group per shard, each with its own simulator,
+replicas, and metrics — and routes every operation to the shard owning
+its key via a :class:`~repro.shard.hashing.HashRing`.  The paper's
+protocol replicates every write to the *whole* group (§IV: INV/ACK/VAL
+fan-out to all nodes), so group size bounds write cost; sharding is the
+standard scale-out answer the paper's single-group evaluation stops
+short of, and the router keeps each group at the sweet-spot size while
+the keyspace grows.
+
+The router deliberately preserves the ``MinosCluster`` client contract —
+``write`` / ``read`` / ``persist_scope`` returning
+:class:`~repro.cluster.results.OpResult`, plus ``load_records`` and
+``run_workload`` — so callers can swap a single group for a sharded
+deployment without touching call sites.
+
+Cross-shard semantics
+---------------------
+Keys live on exactly one shard, so reads and writes are single-shard and
+keep their single-group guarantees unchanged.  The one cross-shard
+operation is ``persist_scope``: a scope's writes may span shards, so the
+router fans the [PERSIST]sc out to every shard it has routed a write of
+that scope to (all shards when it never saw the scope — e.g. the writes
+ran through ``run_workload``), and reports the *maximum* shard latency:
+the persists run concurrently in the modeled deployment, and the scope
+is only durable once the slowest shard's transaction commits.  The
+resulting durability guarantee — every shard's slice of the scope is
+durable once its shard-local persist completes — is exactly what
+:mod:`repro.check.sharded` validates.
+
+Each shard's simulated clock is independent; nothing in the router ever
+compares timestamps across shards.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Set, Union
+
+from repro.cluster.cluster import MinosCluster
+from repro.cluster.results import OpResult
+from repro.core.config import MINOS_B, ProtocolConfig
+from repro.core.model import DDPModel, LIN_SYNCH
+from repro.errors import ConfigError
+from repro.hw.params import DEFAULT_MACHINE, MachineParams
+from repro.metrics.stats import Metrics
+from repro.shard.hashing import DEFAULT_VNODES, HashRing
+from repro.shard.merge import merge_metrics
+from repro.workloads.sharding import ShardedWorkload
+
+
+class ShardRouter:
+    """N MINOS protocol groups behind one keyspace.
+
+    Parameters
+    ----------
+    shards:
+        Number of independent protocol groups.
+    model / config / params:
+        Passed through to every group, exactly as for
+        :class:`MinosCluster`; ``params.nodes`` is the size of *each*
+        group (total deployment: ``shards * params.nodes`` machines).
+    vnodes:
+        Virtual points per shard on the hash ring.
+    seed:
+        Root seed; each shard's cluster gets a distinct root derived
+        from it, so same-shaped shards never share internal random
+        streams.
+
+    ``node_id`` arguments to the operation API are **shard-local** (every
+    group numbers its nodes ``0..params.nodes-1``): a client is attached
+    to one machine of whichever group owns the key it is touching.
+    """
+
+    def __init__(self, shards: int = 4,
+                 model: DDPModel = LIN_SYNCH,
+                 config: ProtocolConfig = MINOS_B,
+                 params: MachineParams = DEFAULT_MACHINE,
+                 vnodes: int = DEFAULT_VNODES,
+                 seed: Union[int, str] = 0) -> None:
+        self.ring = HashRing(shards, vnodes)
+        self.model = model
+        self.config = config
+        self.params = params
+        self.seed = seed
+        self.clusters: List[MinosCluster] = [
+            MinosCluster(model=model, config=config, params=params,
+                         seed=f"{seed}/shard{shard}")
+            for shard in range(shards)
+        ]
+        #: scope -> shards a write of that scope was routed to.
+        self._scope_shards: Dict[int, Set[int]] = {}
+
+    @property
+    def shards(self) -> int:
+        return self.ring.shards
+
+    def shard_of(self, key: Any) -> int:
+        """The shard owning *key*."""
+        return self.ring.shard_of(key)
+
+    def cluster_for(self, key: Any) -> MinosCluster:
+        """The protocol group owning *key*."""
+        return self.clusters[self.ring.shard_of(key)]
+
+    # -- database ----------------------------------------------------------
+
+    def load_records(self, records: Iterable[tuple]) -> int:
+        """Pre-populate each record on the replicas of its owning shard."""
+        count = 0
+        for key, value in records:
+            self.cluster_for(key).load_records([(key, value)])
+            count += 1
+        return count
+
+    # -- direct operation API ----------------------------------------------
+
+    def write(self, node_id: int, key: Any, value: Any,
+              scope: Optional[int] = None) -> OpResult:
+        """Write through the owning shard's group (single-shard op)."""
+        shard = self.ring.shard_of(key)
+        if scope is not None:
+            self._scope_shards.setdefault(scope, set()).add(shard)
+        return self.clusters[shard].write(node_id, key, value, scope=scope)
+
+    def read(self, node_id: int, key: Any) -> OpResult:
+        """Read from the owning shard's group (single-shard op)."""
+        return self.cluster_for(key).read(node_id, key)
+
+    def persist_scope(self, node_id: int, scope: int) -> OpResult:
+        """Close *scope* on every shard holding its writes.
+
+        Fans out to the shards this router routed scope-writes to (all
+        shards when the scope is unknown to the router) and reports the
+        slowest shard's latency — the concurrent-fan-out completion
+        time.  The returned ``key`` is the scope id, mirroring
+        :meth:`MinosCluster.persist_scope`.
+        """
+        targets = sorted(self._scope_shards.get(
+            scope, range(self.ring.shards)))
+        latency = 0.0
+        for shard in targets:
+            result = self.clusters[shard].persist_scope(node_id, scope)
+            latency = max(latency, result.latency)
+        return OpResult(op="persist", key=scope, value=None,
+                        latency=latency, volatile_ts=None, durable_ts=None)
+
+    # -- workload execution ------------------------------------------------
+
+    def run_workload(self, workload, clients_per_node: int = 2,
+                     nodes: Optional[List[int]] = None) -> Metrics:
+        """Partition *workload* across the shards and run every slice.
+
+        Each shard runs the :class:`ShardedWorkload` view of the base
+        workload — the reads/writes it owns plus the scope persists its
+        slice makes necessary — through its own group's closed-loop
+        clients.  Returns the shard-merged :class:`Metrics` (see
+        :func:`repro.shard.merge.merge_metrics` for the conventions).
+
+        This is the in-process serial path; for wall-clock scale-out use
+        :func:`repro.shard.parallel.run_sharded`.
+        """
+        if clients_per_node < 1:
+            raise ConfigError("clients_per_node must be >= 1")
+        per_shard: List[Metrics] = []
+        for shard, cluster in enumerate(self.clusters):
+            view = ShardedWorkload(workload, self.ring.shard_of, shard)
+            per_shard.append(cluster.run_workload(
+                view, clients_per_node=clients_per_node, nodes=nodes))
+        return merge_metrics(per_shard)
+
+    def __repr__(self) -> str:
+        return (f"ShardRouter(shards={self.ring.shards}, "
+                f"model={self.model.name!r}, nodes_per_shard="
+                f"{self.params.nodes})")

@@ -62,6 +62,26 @@ class Simulator:
         #: Disable to make :meth:`sleep` allocate like :meth:`timeout`
         #: (used by tests proving pooling is calendar-transparent).
         self.timeout_pooling: bool = True
+        # Transaction-id mints.  Per-simulator, not module-global: two
+        # clusters in one process (or one forked into workers) must mint
+        # identical id sequences for identical runs — the sharded
+        # executor's serial ≡ parallel contract depends on it.
+        self._next_write_id: int = 1
+        self._next_persist_id: int = 1
+
+    def next_write_id(self) -> int:
+        """A unique id for each client-write transaction of *this*
+        simulation (debug/bookkeeping; also keys obs spans)."""
+        value = self._next_write_id
+        self._next_write_id = value + 1
+        return value
+
+    def next_persist_id(self) -> int:
+        """A unique id for each [PERSIST]sc transaction of *this*
+        simulation."""
+        value = self._next_persist_id
+        self._next_persist_id = value + 1
+        return value
 
     # -- time ---------------------------------------------------------------
 

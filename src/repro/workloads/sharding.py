@@ -1,0 +1,71 @@
+"""Shard-partition views over arbitrary workloads.
+
+:class:`ShardedWorkload` wraps any workload object (anything with
+``initial_records()`` / ``ops_for(node_id, client_idx)``) and exposes the
+slice one shard owns: reads and writes whose key the shard owns are kept,
+everything else is dropped, and a ``[PERSIST]sc`` is kept exactly when
+this shard saw at least one write in that scope since the scope's last
+persist — each shard persists *its slice* of the scope, which is how a
+cross-shard scope persist decomposes (see :mod:`repro.check.sharded` for
+the durability rule this implies).
+
+This is a *partition* (total work is split across shards), used by
+:meth:`repro.shard.ShardRouter.run_workload`.  The equal-work
+shard-scaling benchmark instead uses ``YcsbWorkload(shard_filter=...)``,
+which *redraws* foreign keys so per-client op counts stay fixed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator
+
+from repro.workloads.ycsb import Op, OpKind
+
+
+class ShardedWorkload:
+    """The slice of *base* owned by *shard* under *shard_of*.
+
+    Parameters
+    ----------
+    base:
+        The workload to partition.
+    shard_of:
+        Key-to-shard mapping (usually ``HashRing.shard_of``).
+    shard:
+        Which shard's slice this view yields.
+    """
+
+    def __init__(self, base: Any, shard_of: Callable[[Any], int],
+                 shard: int) -> None:
+        self.base = base
+        self.shard_of = shard_of
+        self.shard = shard
+
+    def _owns(self, key: Any) -> bool:
+        return self.shard_of(key) == self.shard
+
+    def initial_records(self) -> Iterator[tuple]:
+        for key, value in self.base.initial_records():
+            if self._owns(key):
+                yield key, value
+
+    def ops_for(self, node_id: int, client_idx: int) -> Iterator[Op]:
+        """The shard-local substream of one client driver.
+
+        Scope tracking is per (scope id): a persist is forwarded only
+        when this shard holds unpersisted writes of that scope, so a
+        shard that never wrote into a scope does not pay for closing it.
+        """
+        dirty_scopes = set()
+        for op in self.base.ops_for(node_id, client_idx):
+            if op.kind is OpKind.PERSIST:
+                if op.scope in dirty_scopes:
+                    dirty_scopes.discard(op.scope)
+                    yield op
+            elif self._owns(op.key):
+                if op.kind is OpKind.WRITE and op.scope is not None:
+                    dirty_scopes.add(op.scope)
+                yield op
+
+    def __repr__(self) -> str:
+        return f"ShardedWorkload(shard={self.shard}, base={self.base!r})"

@@ -3,8 +3,14 @@
 Implements the Gray et al. "Quickly generating billion-record synthetic
 databases" algorithm, as used by YCSB's ``ZipfianGenerator``: item ranks
 are drawn with probability proportional to ``1 / rank^theta``.  The
-``zeta(n)`` normalization constant is cached per ``(n, theta)`` because it
-costs O(n) to compute.
+``zeta(n)`` normalization constant is memoized per ``(n, theta)`` because
+it costs O(n) to compute — through a *bounded* ``functools.lru_cache``,
+not a module-level dict: an unbounded module global is shared mutable
+state that outlives runs and is inherited by multiprocessing forks (the
+parallel shard executor in :mod:`repro.shard.parallel` forks workers),
+and the ``no-module-mutable-cache`` lint rule now forbids the pattern in
+``repro/workloads``.  ``zeta`` is a pure function of its arguments, so
+the memo can never change a result — only its cost.
 
 A :class:`ScrambledZipfian` variant hashes the rank so that popular keys
 are spread over the whole key space (YCSB's ``scrambled_zipfian``), which
@@ -15,21 +21,15 @@ in practice.
 from __future__ import annotations
 
 import random
-from typing import Dict, Tuple
+from functools import lru_cache
 
 from repro.errors import ConfigError
 
-_zeta_cache: Dict[Tuple[int, float], float] = {}
 
-
+@lru_cache(maxsize=128)
 def zeta(n: int, theta: float) -> float:
     """The generalized harmonic number ``sum_{i=1..n} 1/i^theta``."""
-    key = (n, theta)
-    value = _zeta_cache.get(key)
-    if value is None:
-        value = sum(1.0 / (i ** theta) for i in range(1, n + 1))
-        _zeta_cache[key] = value
-    return value
+    return sum(1.0 / (i ** theta) for i in range(1, n + 1))
 
 
 class ZipfianGenerator:

@@ -1,0 +1,130 @@
+"""no-module-mutable-cache: function-mutated module globals in workloads."""
+
+import textwrap
+
+ONLY = ["no-module-mutable-cache"]
+
+
+def _src(body):
+    return {"src/repro/workloads/mod.py": textwrap.dedent(body)}
+
+
+class TestFlagged:
+    def test_dict_memo_flagged_at_declaration(self, finding_index):
+        index = finding_index(_src("""
+            _cache = {}
+
+            def zeta(n):
+                if n not in _cache:
+                    _cache[n] = n * n
+                return _cache[n]
+        """), only=ONLY)
+        assert index["no-module-mutable-cache"] == [
+            ("src/repro/workloads/mod.py", 2)]
+
+    def test_constructor_call_and_method_mutation_flagged(
+            self, finding_index):
+        index = finding_index(_src("""
+            _seen = set()
+
+            def dedupe(key):
+                _seen.add(key)
+        """), only=ONLY)
+        assert "no-module-mutable-cache" in index
+
+    def test_annotated_list_append_flagged(self, finding_index):
+        index = finding_index(_src("""
+            _log: list = []
+
+            def record(entry):
+                _log.append(entry)
+        """), only=ONLY)
+        assert "no-module-mutable-cache" in index
+
+    def test_global_rebinding_flagged(self, finding_index):
+        index = finding_index(_src("""
+            _table = {}
+
+            def reset():
+                global _table
+                _table = {}
+        """), only=ONLY)
+        assert "no-module-mutable-cache" in index
+
+    def test_method_body_mutation_flagged(self, finding_index):
+        index = finding_index(_src("""
+            _memo = {}
+
+            class Gen:
+                def value(self, n):
+                    _memo[n] = n
+                    return _memo[n]
+        """), only=ONLY)
+        assert "no-module-mutable-cache" in index
+
+
+class TestAllowed:
+    def test_read_only_constant_table_allowed(self, finding_index):
+        index = finding_index(_src("""
+            STEPS = {"login": 3, "compose": 5}
+
+            def cost(name):
+                return STEPS[name]
+        """), only=ONLY)
+        assert index == {}
+
+    def test_local_shadow_allowed(self, finding_index):
+        index = finding_index(_src("""
+            TABLE = {}
+
+            def build():
+                TABLE = {}
+                TABLE["x"] = 1
+                return TABLE
+        """), only=ONLY)
+        assert index == {}
+
+    def test_parameter_shadow_allowed(self, finding_index):
+        index = finding_index(_src("""
+            _rows = []
+
+            def fill(_rows):
+                _rows.append(1)
+        """), only=ONLY)
+        assert index == {}
+
+    def test_lru_cache_decorator_allowed(self, finding_index):
+        index = finding_index(_src("""
+            from functools import lru_cache
+
+            @lru_cache(maxsize=128)
+            def zeta(n):
+                return sum(1.0 / i for i in range(1, n + 1))
+        """), only=ONLY)
+        assert index == {}
+
+    def test_outside_workloads_allowed(self, finding_index):
+        index = finding_index({
+            "src/repro/metrics/mod.py": textwrap.dedent("""
+                _cache = {}
+
+                def get(n):
+                    _cache[n] = n
+                    return _cache[n]
+            """)}, only=ONLY)
+        assert index == {}
+
+
+def test_workloads_tree_is_clean(finding_index):
+    """The shipped workload generators satisfy their own rule (the
+    zipfian zeta memo is an lru_cache, not a module dict)."""
+    import pathlib
+
+    import repro.workloads as pkg
+
+    root = pathlib.Path(pkg.__file__).parent
+    sources = {
+        f"src/repro/workloads/{path.name}": path.read_text()
+        for path in root.glob("*.py")
+    }
+    assert finding_index(sources, only=ONLY) == {}

@@ -1,0 +1,171 @@
+"""Cross-shard checking: scope closure, routing, per-shard crashes.
+
+The hand-built histories below construct merged sharded histories
+directly (via :func:`merge_histories`, so they carry the real op-id
+striding) to pin the cross-shard rules precisely; the end-to-end matrix
+at the bottom runs real sharded executions through the same checkers.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.check.history import HistoryOp
+from repro.check.sharded import (check_scope_closure,
+                                 check_sharded_durability,
+                                 check_sharded_history,
+                                 check_sharded_linearizability,
+                                 keys_spanning_shards, shard_slices)
+from repro.core.model import LIN_SCOPE, LIN_SYNCH, model_by_name
+from repro.core.timestamp import Timestamp
+from repro.shard.merge import merge_histories
+from repro.shard.parallel import ShardedRunConfig, run_sharded
+from repro.workloads.ycsb import record_key
+
+#: The pre-populated table every YCSB run starts from.
+INITIAL = {record_key(i): f"init{i}" for i in range(60)}
+
+
+def _write(op_id, key, scope=None, invoked=1.0, responded=2.0,
+           value="v", ts=None, client="n0c0"):
+    return HistoryOp(op_id=op_id, client=client, kind="write", key=key,
+                     value=value, invoked=invoked, responded=responded,
+                     ts=ts or Timestamp(1, 0), scope=scope)
+
+
+def _persist(op_id, scope, invoked, responded, client="n0c0"):
+    return HistoryOp(op_id=op_id, client=client, kind="persist",
+                     key=None, value=None, invoked=invoked,
+                     responded=responded, scope=scope)
+
+
+class TestScopeClosure:
+    def test_every_shard_slice_closed_is_ok(self):
+        merged = merge_histories([
+            [_write(0, "a", scope=1, responded=2.0),
+             _persist(1, 1, invoked=3.0, responded=4.0)],
+            [_write(0, "b", scope=1, responded=1.0),
+             _persist(1, 1, invoked=1.5, responded=2.5)],
+        ])
+        assert check_scope_closure(merged).ok
+
+    def test_one_uncovered_shard_slice_is_a_violation(self):
+        merged = merge_histories([
+            [_write(0, "a", scope=1, responded=2.0),
+             _persist(1, 1, invoked=3.0, responded=4.0)],
+            [_write(0, "b", scope=1, responded=1.0)],  # never persisted
+        ])
+        report = check_scope_closure(merged)
+        assert not report.ok
+        assert [v.rule for v in report.violations] == [
+            "sharded-scope-closure"]
+        assert report.violations[0].key == 1
+        assert "shard 1" in report.violations[0].detail
+
+    def test_persist_invoked_before_response_does_not_cover(self):
+        # The persist must start at-or-after the write's response on its
+        # own shard; an earlier persist may have missed the write.
+        merged = merge_histories([
+            [_write(0, "a", scope=1, responded=5.0),
+             _persist(1, 1, invoked=4.0, responded=6.0)],
+        ])
+        assert not check_scope_closure(merged).ok
+
+    def test_other_scopes_and_unscoped_writes_ignored(self):
+        merged = merge_histories([
+            [_write(0, "a", scope=None, responded=2.0),
+             _write(1, "b", scope=2, responded=2.0),
+             _persist(2, 2, invoked=3.0, responded=4.0)],
+        ])
+        assert check_scope_closure(merged).ok
+
+
+class TestRouting:
+    def test_spanning_key_detected_and_failed(self):
+        merged = merge_histories([
+            [_write(0, "dup", responded=2.0)],
+            [_write(0, "dup", responded=2.0)],
+        ])
+        assert keys_spanning_shards(merged) == {"dup": [0, 1]}
+        report = check_sharded_linearizability(merged)
+        assert not report.ok
+        assert report.keys["dup"].states == 0
+
+    def test_disjoint_keys_delegate_to_wgl(self):
+        merged = merge_histories([
+            [_write(0, "a", responded=2.0)],
+            [_write(0, "b", responded=2.0)],
+        ])
+        assert keys_spanning_shards(merged) == {}
+        assert check_sharded_linearizability(merged).ok
+
+    def test_shard_slices_partition_by_stride(self):
+        merged = merge_histories([
+            [_write(0, "a")], [], [_write(0, "c")],
+        ])
+        slices = shard_slices(merged)
+        assert sorted(slices) == [0, 2]
+        assert [op.key for op in slices[0]] == ["a"]
+        assert [op.key for op in slices[2]] == ["c"]
+
+
+class TestShardCrash:
+    def test_crash_checks_only_the_crashed_slice(self):
+        # Shard 0: a synch-acked write that must survive its crash.
+        # Shard 1: the same-shaped write, but shard 1 did not crash, so
+        # its (empty) snapshot is never consulted.
+        merged = merge_histories([
+            [_write(0, "a", responded=2.0, ts=Timestamp(3, 0))],
+            [_write(0, "b", responded=2.0, ts=Timestamp(3, 0))],
+        ])
+        lost = check_sharded_durability(LIN_SYNCH, merged, crash_shard=0,
+                                        crash_time=10.0, snapshot={})
+        assert not lost.ok
+        assert {v.key for v in lost.violations} == {"a"}
+
+        survived = check_sharded_durability(
+            LIN_SYNCH, merged, crash_shard=0, crash_time=10.0,
+            snapshot={"a": (Timestamp(3, 0), "v")})
+        assert survived.ok
+
+
+class TestEndToEnd:
+    """The persist_scope durability matrix over real sharded runs."""
+
+    CONFIG = dict(shards=2, nodes_per_shard=3, records=60,
+                  requests_per_client=8, clients_per_node=1,
+                  record_history=True, seed=17)
+
+    @pytest.mark.parametrize("model,arch", [
+        ("synch", "MINOS-B"),
+        ("strict", "MINOS-B"),
+        ("scope", "MINOS-O"),
+    ])
+    def test_fault_free_sharded_runs_check_clean(self, model, arch):
+        persist_every = 4 if model == "scope" else None
+        result = run_sharded(ShardedRunConfig(
+            model=model, arch=arch, persist_every=persist_every,
+            **self.CONFIG))
+        report = check_sharded_history(model_by_name(model),
+                                       result.history, initial=INITIAL)
+        assert report.ok, report.to_dict()
+        assert report.shards == 2
+        if model == "scope":
+            assert len(result.history.persists()) > 0
+
+    def test_stripping_persists_breaks_scope_closure(self):
+        result = run_sharded(ShardedRunConfig(
+            model="scope", arch="MINOS-O", persist_every=4,
+            **self.CONFIG))
+        gutted = merge_histories([[
+            dataclasses.replace(
+                op,
+                op_id=op.op_id % 1_000_000,
+                client=op.client.split(":", 1)[1])
+            for op in slice_.ops if op.kind != "persist"]
+            for _, slice_ in sorted(shard_slices(result.history).items())])
+        report = check_sharded_history(LIN_SCOPE, gutted,
+                                       initial=INITIAL)
+        assert not report.ok
+        assert any(v.rule == "sharded-scope-closure"
+                   for v in report.scope_closure.violations)

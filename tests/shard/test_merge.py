@@ -1,0 +1,111 @@
+"""Deterministic merge of per-shard metrics, histories, and traces."""
+
+import pytest
+
+from repro.check.history import SHARD_OP_STRIDE, HistoryOp, split_shard
+from repro.errors import ConfigError
+from repro.metrics.stats import Metrics
+from repro.shard.merge import (FABRIC_SLOT, SHARD_PID_STRIDE,
+                               merge_histories, merge_metrics,
+                               merge_traces, shard_pid)
+
+
+def _metrics(write_samples, started_at=0.0, finished_at=1.0,
+             writes=0, spans=()):
+    m = Metrics()
+    for s in write_samples:
+        m.write_latency.add(s)
+    m.counters.writes_completed = writes
+    m.started_at = started_at
+    m.finished_at = finished_at
+    for write_id, span in spans:
+        m.comm_spans[write_id] = span
+    return m
+
+
+def _op(op_id, client="n0c0", kind="write", key="k", invoked=1.0,
+        responded=2.0):
+    return HistoryOp(op_id=op_id, client=client, kind=kind, key=key,
+                     value="v", invoked=invoked, responded=responded)
+
+
+class TestMergeMetrics:
+    def test_counters_sum_and_samples_concatenate_in_shard_order(self):
+        merged = merge_metrics([
+            _metrics([1.0, 2.0], writes=2),
+            _metrics([3.0], writes=1),
+        ])
+        assert merged.counters.writes_completed == 3
+        assert merged.write_latency.samples == [1.0, 2.0, 3.0]
+
+    def test_write_id_maps_rekeyed_per_shard(self):
+        merged = merge_metrics([
+            _metrics([], spans=[(1, "spanA")]),
+            _metrics([], spans=[(1, "spanB")]),
+        ])
+        # Same-numbered writes on different shards must not collide.
+        assert merged.comm_spans == {(0, 1): "spanA", (1, 1): "spanB"}
+
+    def test_duration_is_slowest_shard_not_sum(self):
+        merged = merge_metrics([
+            _metrics([], started_at=0.0, finished_at=4.0),
+            _metrics([], started_at=1.0, finished_at=2.0),
+        ])
+        assert merged.started_at == 0.0
+        assert merged.duration == 4.0
+
+    def test_empty_merge_rejected(self):
+        with pytest.raises(ConfigError):
+            merge_metrics([])
+
+
+class TestMergeHistories:
+    def test_op_ids_strided_and_clients_prefixed(self):
+        merged = merge_histories([
+            [_op(0), _op(1)],
+            [_op(0, client="n3c1")],
+        ])
+        ids = [op.op_id for op in merged]
+        assert ids == [0, 1, SHARD_OP_STRIDE]
+        assert [split_shard(i) for i in ids] == [0, 0, 1]
+        assert [op.client for op in merged] == [
+            "s0:n0c0", "s0:n0c0", "s1:n3c1"]
+
+    def test_originals_not_mutated(self):
+        ops = [_op(0)]
+        merge_histories([[], ops])
+        assert ops[0].op_id == 0 and ops[0].client == "n0c0"
+
+    def test_shard_namespace_overflow_rejected(self):
+        with pytest.raises(ConfigError):
+            merge_histories([[_op(0)] * SHARD_OP_STRIDE])
+
+
+class TestMergeTraces:
+    def _payload(self, pid, name="node0"):
+        return {"traceEvents": [
+            {"ph": "M", "name": "process_name", "pid": pid,
+             "args": {"name": name}},
+            {"ph": "X", "name": "op", "pid": pid, "tid": 1,
+             "ts": 0, "dur": 5},
+        ]}
+
+    def test_pids_namespaced_and_process_names_prefixed(self):
+        merged = merge_traces([self._payload(0), self._payload(0)])
+        events = merged["traceEvents"]
+        assert [e["pid"] for e in events] == [
+            0, 0, SHARD_PID_STRIDE, SHARD_PID_STRIDE]
+        names = [e["args"]["name"] for e in events
+                 if e.get("name") == "process_name"]
+        assert names == ["shard0/node0", "shard1/node0"]
+
+    def test_fabric_pseudo_node_maps_to_reserved_slot(self):
+        assert shard_pid(0, -1) == FABRIC_SLOT
+        assert shard_pid(2, -1) == 2 * SHARD_PID_STRIDE + FABRIC_SLOT
+        with pytest.raises(ConfigError):
+            shard_pid(0, SHARD_PID_STRIDE)
+
+    def test_traceless_shards_skipped(self):
+        merged = merge_traces([None, self._payload(1)])
+        assert [e["pid"] for e in merged["traceEvents"]] == [
+            SHARD_PID_STRIDE + 1, SHARD_PID_STRIDE + 1]

@@ -1,0 +1,87 @@
+"""The executor's correctness contract: serial ≡ parallel, exactly."""
+
+import pytest
+
+from repro.check.history import SHARD_OP_STRIDE, split_shard
+from repro.errors import ConfigError
+from repro.shard.parallel import (ShardedRunConfig, run_shard,
+                                  run_sharded)
+
+#: Small enough to keep each worker under a second, big enough that a
+#: nondeterministic executor would have thousands of chances to diverge.
+SMALL = dict(shards=2, nodes_per_shard=3, records=60,
+             requests_per_client=8, clients_per_node=1,
+             record_history=True)
+
+
+class TestSerialEqualsParallel:
+    @pytest.mark.parametrize("seed", [1, 7, 42])
+    def test_identical_fingerprints_across_seeds(self, seed):
+        config = ShardedRunConfig(seed=seed, **SMALL)
+        serial = run_sharded(config, workers=1)
+        parallel = run_sharded(config, workers=2)
+        assert serial.fingerprint() == parallel.fingerprint()
+
+    def test_scope_model_with_traces_also_identical(self):
+        config = ShardedRunConfig(model="scope", arch="MINOS-O",
+                                  persist_every=4, seed=5,
+                                  record_trace=True, **SMALL)
+        serial = run_sharded(config, workers=1)
+        parallel = run_sharded(config, workers=2)
+        assert serial.fingerprint() == parallel.fingerprint()
+        assert serial.trace is not None
+        assert serial.trace["traceEvents"] == parallel.trace["traceEvents"]
+
+    def test_rerun_is_reproducible(self):
+        config = ShardedRunConfig(seed=13, **SMALL)
+        assert (run_sharded(config, workers=1).fingerprint()
+                == run_sharded(config, workers=1).fingerprint())
+
+    def test_different_seeds_differ(self):
+        a = run_sharded(ShardedRunConfig(seed=1, **SMALL), workers=1)
+        b = run_sharded(ShardedRunConfig(seed=2, **SMALL), workers=1)
+        assert a.fingerprint() != b.fingerprint()
+
+
+class TestMergedShape:
+    def test_history_namespacing(self):
+        result = run_sharded(ShardedRunConfig(seed=3, **SMALL), workers=1)
+        shards_seen = {split_shard(op.op_id) for op in result.history}
+        assert shards_seen == {0, 1}
+        for op in result.history:
+            assert op.client.startswith(f"s{split_shard(op.op_id)}:")
+            assert op.op_id % SHARD_OP_STRIDE < SHARD_OP_STRIDE
+
+    def test_each_shard_issues_the_full_request_stream(self):
+        config = ShardedRunConfig(seed=3, **SMALL)
+        result = run_sharded(config, workers=1)
+        per_shard = config.nodes_per_shard * config.clients_per_node \
+            * config.requests_per_client
+        assert len(result.history) == config.shards * per_shard
+        assert len(result.per_shard_events) == config.shards
+        assert result.events_processed == sum(result.per_shard_events)
+
+    def test_single_worker_shard_matches_pool_member(self):
+        config = ShardedRunConfig(seed=9, **SMALL)
+        alone = run_shard(config, shard=1)
+        merged = run_sharded(config, workers=2)
+        assert merged.per_shard_events[1] == alone.events_processed
+
+
+class TestValidation:
+    def test_bad_model_name_fails_eagerly(self):
+        with pytest.raises(Exception):
+            ShardedRunConfig(model="nonesuch")
+
+    def test_bad_shard_count_rejected(self):
+        with pytest.raises(ConfigError):
+            ShardedRunConfig(shards=0)
+
+    def test_out_of_range_shard_rejected(self):
+        config = ShardedRunConfig(**SMALL)
+        with pytest.raises(ConfigError):
+            run_shard(config, shard=config.shards)
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ConfigError):
+            run_sharded(ShardedRunConfig(**SMALL), workers=-1)

@@ -1,0 +1,113 @@
+"""ShardRouter: the MinosCluster client contract over N groups."""
+
+import pytest
+
+from repro.cluster.cluster import MinosCluster
+from repro.cluster.results import OpResult
+from repro.core.model import LIN_SCOPE, LIN_SYNCH
+from repro.errors import ConfigError
+from repro.hw.params import DEFAULT_MACHINE
+from repro.shard.router import ShardRouter
+from repro.workloads.ycsb import YcsbWorkload, record_key
+
+SMALL = DEFAULT_MACHINE.with_nodes(3)
+
+
+@pytest.fixture
+def router():
+    return ShardRouter(shards=3, model=LIN_SYNCH, params=SMALL, seed=7)
+
+
+class TestDirectOps:
+    def test_write_then_read_roundtrips(self, router):
+        for i in range(12):
+            key = record_key(i)
+            wrote = router.write(0, key, f"v{i}")
+            assert isinstance(wrote, OpResult)
+            assert wrote.op == "write" and wrote.latency > 0
+            got = router.read(1, key)
+            assert got.op == "read"
+            assert got.value == f"v{i}"
+
+    def test_ops_land_on_the_owning_shard(self, router):
+        key = record_key(3)
+        shard = router.shard_of(key)
+        before = [c.metrics.counters.writes_completed
+                  for c in router.clusters]
+        router.write(0, key, "x")
+        after = [c.metrics.counters.writes_completed
+                 for c in router.clusters]
+        assert after[shard] == before[shard] + 1
+        for other in range(router.shards):
+            if other != shard:
+                assert after[other] == before[other]
+        assert router.cluster_for(key) is router.clusters[shard]
+
+    def test_load_records_partitions_the_table(self, router):
+        records = [(record_key(i), f"init{i}") for i in range(30)]
+        assert router.load_records(records) == 30
+        for key, value in records:
+            assert router.read(0, key).value == value
+
+
+class TestPersistScope:
+    def test_persist_fans_out_to_tracked_shards_only(self):
+        router = ShardRouter(shards=3, model=LIN_SCOPE, params=SMALL,
+                             seed=7)
+        # Route scope-9 writes until two distinct shards hold them.
+        touched = set()
+        i = 0
+        while len(touched) < 2:
+            key = record_key(i)
+            router.write(0, key, "v", scope=9)
+            touched.add(router.shard_of(key))
+            i += 1
+        result = router.persist_scope(0, 9)
+        assert result.op == "persist" and result.key == 9
+        assert result.latency > 0
+        txns = [c.metrics.counters.scope_persist_txns
+                for c in router.clusters]
+        for shard in range(router.shards):
+            assert txns[shard] == (1 if shard in touched else 0)
+
+    def test_unknown_scope_persists_everywhere(self):
+        router = ShardRouter(shards=2, model=LIN_SCOPE, params=SMALL,
+                             seed=7)
+        router.persist_scope(0, 1234)
+        assert all(c.metrics.counters.scope_persist_txns == 1
+                   for c in router.clusters)
+
+
+class TestRunWorkload:
+    def test_partitioned_run_conserves_ops(self):
+        workload = YcsbWorkload(records=60, requests_per_client=10,
+                                write_fraction=0.5, seed=11)
+        single = MinosCluster(model=LIN_SYNCH, params=SMALL, seed=0)
+        baseline = single.run_workload(workload, clients_per_node=2)
+        base_ops = (baseline.counters.writes_completed
+                    + baseline.counters.reads_completed)
+
+        router = ShardRouter(shards=3, model=LIN_SYNCH, params=SMALL,
+                             seed=0)
+        merged = router.run_workload(workload, clients_per_node=2)
+        # The sharded deployment partitions the same op stream: every
+        # read/write lands on exactly one shard, none twice, none lost.
+        assert (merged.counters.writes_completed
+                + merged.counters.reads_completed) == base_ops
+
+    def test_merged_metrics_shape(self, router):
+        workload = YcsbWorkload(records=30, requests_per_client=5,
+                                seed=3)
+        merged = router.run_workload(workload, clients_per_node=1)
+        assert merged.started_at is not None
+        assert merged.duration > 0
+        for shard, _ in merged.comm_spans:
+            assert 0 <= shard < router.shards
+
+    def test_rejects_bad_client_count(self, router):
+        with pytest.raises(ConfigError):
+            router.run_workload(YcsbWorkload(records=10), clients_per_node=0)
+
+
+def test_repr_names_the_deployment(router):
+    assert "shards=3" in repr(router)

@@ -3,9 +3,12 @@
 The facade's promise is threefold: every name in ``repro.api.__all__``
 resolves, the top-level :mod:`repro` package re-exports the same
 objects, and the :class:`~repro.cluster.results.OpResult` record keeps
-its field layout (with the one-release tuple-unpacking shim warning
-loudly).  Breaking any of these breaks downstream callers that import
-from the facade, so changes here are deliberate API events.
+its field layout.  Breaking any of these breaks downstream callers that
+import from the facade, so changes here are deliberate API events.
+
+The tuple-unpacking shim shipped in PR 2 ("removed next release") is
+gone: unpacking an ``OpResult`` positionally is now a ``TypeError``,
+pinned below so the shim cannot quietly return.
 """
 
 import dataclasses
@@ -78,13 +81,14 @@ class TestOpResultContract:
         result = self.make()
         assert result.ts is result.volatile_ts
 
-    def test_tuple_unpacking_shim_warns_and_matches_fields(self):
+    def test_tuple_unpacking_shim_is_gone(self):
+        """The one-release ``__iter__`` shim was removed: positional
+        unpacking must fail loudly instead of silently yielding a stale
+        field order."""
         result = self.make(durable_ts=Timestamp(3, 1))
-        with pytest.warns(DeprecationWarning, match="tuple-unpacking"):
-            value, latency, volatile_ts, durable_ts = result
-        assert (value, latency, volatile_ts, durable_ts) == \
-            (result.value, result.latency, result.volatile_ts,
-             result.durable_ts)
+        assert not hasattr(type(result), "__iter__")
+        with pytest.raises(TypeError):
+            _value, _latency, _volatile_ts, _durable_ts = result
 
     def test_named_access_does_not_warn(self):
         import warnings
