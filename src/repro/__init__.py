@@ -103,6 +103,8 @@ _EXPORTS = {
     "validate_chrome_trace": "repro.obs",
     "OpResult": "repro.cluster.results",
     "Metrics": "repro.metrics.stats",
+    "run_analysis": "repro.analysis",
+    "extract_protocol_graph": "repro.analysis.flow",
     # convenience re-exports beyond the facade
     "ClosedLoopClient": "repro.cluster",
     "Node": "repro.cluster",

@@ -14,9 +14,10 @@ import cycle with the code it analyzes.
 from repro.analysis.baseline import (BASELINE_NAME, BASELINE_SCHEMA,
                                      Baseline, Suppression)
 from repro.analysis.core import (DEFAULT_SCAN, RULES, Project, Rule,
-                                 analyze_project, find_project_root,
-                                 load_project, load_project_from_sources,
-                                 parse_module, rule, run_analysis)
+                                 analyze_project, available_rules,
+                                 find_project_root, load_project,
+                                 load_project_from_sources, parse_module,
+                                 rule, run_analysis)
 from repro.analysis.report import (JSON_SCHEMA, AnalysisResult, Finding,
                                    render_json, render_text)
 
@@ -33,6 +34,7 @@ __all__ = [
     "Rule",
     "Suppression",
     "analyze_project",
+    "available_rules",
     "find_project_root",
     "load_project",
     "load_project_from_sources",

@@ -18,8 +18,8 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import (Dict, Iterator, List, Optional, Sequence, Tuple, Type,
-                    Union)
+from typing import (Callable, Dict, ItemsView, Iterator, List, Optional,
+                    Sequence, Tuple, Type, Union)
 
 from repro.analysis.baseline import Baseline
 from repro.analysis.report import AnalysisResult, Finding
@@ -231,9 +231,26 @@ class Project:
         #: Class name -> every definition of that name (names are unique
         #: in this codebase; rules treat collisions conservatively).
         self.classes_by_name: Dict[str, List[ClassInfo]] = {}
+        #: Memo for expensive cross-module analyses shared between rules
+        #: (see :meth:`shared`).
+        self._shared: Dict[str, object] = {}
         for module in self.modules:
             for info in module.classes:
                 self.classes_by_name.setdefault(info.name, []).append(info)
+
+    def shared(self, key: str,
+               build: Callable[["Project"], object]) -> object:
+        """Build-once cache for cross-module analysis artifacts.
+
+        Rules that consume the same expensive derived structure (the
+        interprocedural flow graph, for instance) call
+        ``project.shared("flow", build_flow)``; the first caller pays for
+        the construction and later callers get the memoized object."""
+        try:
+            return self._shared[key]
+        except KeyError:
+            value = self._shared[key] = build(self)
+            return value
 
     def module(self, rel: str) -> Optional[ModuleSource]:
         for module in self.modules:
@@ -379,8 +396,39 @@ class Rule:
         return {}
 
 
+class RuleRegistry:
+    """Rule-id → rule-class registry, populated at import time by the
+    :func:`rule` decorator.
+
+    Deliberately an object rather than a bare module-level dict: the
+    registry has process lifetime *by design* (decorator registration is
+    an import-time effect), and holding the mapping as instance state
+    keeps the analyzer honest under its own
+    ``no-module-mutable-cache`` rule.  Iteration order is registration
+    order.
+    """
+
+    def __init__(self) -> None:
+        self._rules: Dict[str, Type[Rule]] = {}
+
+    def register(self, cls: Type[Rule]) -> None:
+        self._rules[cls.id] = cls
+
+    def __contains__(self, rule_id: object) -> bool:
+        return rule_id in self._rules
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._rules)
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def items(self) -> ItemsView[str, Type[Rule]]:
+        return self._rules.items()
+
+
 #: Registered rule classes, in registration order.
-RULES: Dict[str, Type[Rule]] = {}
+RULES = RuleRegistry()
 
 
 def rule(cls: Type[Rule]) -> Type[Rule]:
@@ -389,13 +437,20 @@ def rule(cls: Type[Rule]) -> Type[Rule]:
         raise ValueError(f"rule {cls.__name__} has no id")
     if cls.id in RULES:
         raise ValueError(f"duplicate rule id {cls.id!r}")
-    RULES[cls.id] = cls
+    RULES.register(cls)
     return cls
 
 
 def _load_rules() -> None:
     """Import the rule modules (side effect: registration)."""
     from repro.analysis import rules as _rules  # noqa: F401
+
+
+def available_rules() -> Tuple[str, ...]:
+    """The registered rule ids, in registration order (loads the rule
+    modules on first use).  The CLI validates ``--rule`` against this."""
+    _load_rules()
+    return tuple(RULES)
 
 
 # ===========================================================================

@@ -1,0 +1,132 @@
+"""Small-scope explicit-state exploration over the flow graph.
+
+:func:`explore` computes the monotone activation closure of one
+(model, arch) configuration: starting from the client entry points and
+the engine's receive loops, a function activates its guard-satisfiable
+call / spawn / callback successors; a send site inside an active
+function *emits* its resolved message types onto its channel; an
+emitted type activates the handlers the channel's dispatch table routes
+it to.  Iterated to a fixpoint this yields the reachable handler set,
+the emitted (type, channel) pairs, and the emissions no handler
+accepts — the explicit-state backing of ``flow-unhandled-message``.
+
+:func:`happens_before` builds the combined order relation the
+``flow-meta-race`` rule consults: program order (call/spawn/ref edges)
+unioned with message order (sender function → receiving handler on
+every automaton edge).  Two functions are *ordered* when one reaches
+the other in this digraph; metadata accesses in mutually unreachable
+functions have no happens-before edge and may race.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Optional, Set, Tuple
+
+from repro.analysis.flow.callgraph import eval_guards, successors
+from repro.analysis.flow.sends import concrete_types, solve_params
+
+if TYPE_CHECKING:  # runtime import would cycle through automaton
+    from repro.analysis.flow.automaton import FlowGraph
+
+#: Functions that seed the exploration (client API + engine setup; the
+#: receive loops are spawned from ``__init__`` so they activate through
+#: the spawn edges).
+ENTRY_POINTS = ("__init__", "client_write", "client_read",
+                "client_persist", "_client_write_eventual")
+
+
+@dataclass
+class ExploreResult:
+    """Outcome of one configuration's activation closure."""
+
+    reachable: Set[str] = field(default_factory=set)
+    #: Emitted message flow: ``(msg_type, channel)`` -> sender functions.
+    emitted: Dict[Tuple[str, str], Set[str]] = field(default_factory=dict)
+    #: Emissions the receiving channel's dispatch chain rejects.
+    unhandled: Dict[Tuple[str, str], Set[str]] = field(default_factory=dict)
+
+
+def explore(flow: FlowGraph, arch: str,
+            facts: Optional[Dict[str, object]] = None) -> ExploreResult:
+    """Activation closure of *arch* under model *facts* (``None`` for
+    the model-agnostic view)."""
+    from repro.analysis.flow.sends import extract_dispatch
+
+    arch_flow = flow.arches[arch]
+    solution = solve_params(arch_flow.bindings, facts)
+    dispatch = (arch_flow.dispatch if facts is None else
+                extract_dispatch(arch_flow.universe, arch_flow.parser_for,
+                                 flow.vocabulary, arch, facts=facts))
+    adjacency = successors(arch_flow.edges, facts=facts)
+    sends_by_function: Dict[str, list] = {}
+    for site in arch_flow.sends:
+        if eval_guards(site.guards, facts):
+            sends_by_function.setdefault(site.function, []).append(site)
+
+    result = ExploreResult()
+    frontier = [name for name in ENTRY_POINTS
+                if name in arch_flow.universe]
+    while frontier:
+        current = frontier.pop()
+        if current in result.reachable:
+            continue
+        result.reachable.add(current)
+        frontier.extend(adjacency.get(current, ()))
+        for site in sends_by_function.get(current, ()):
+            resolved = concrete_types(site.types, solution)
+            table = dispatch.get(site.channel)
+            for msg_type in resolved.literals:
+                key = (msg_type, site.channel)
+                result.emitted.setdefault(key, set()).add(current)
+                if table is None or msg_type not in table.accepted:
+                    result.unhandled.setdefault(key, set()).add(current)
+                    continue
+                frontier.extend(table.handlers.get(msg_type, ()))
+                if table.loop not in result.reachable:
+                    frontier.append(table.loop)
+    return result
+
+
+def happens_before(flow: FlowGraph, arch: str,
+                   facts: Optional[Dict[str, object]] = None,
+                   ) -> Dict[str, Set[str]]:
+    """Per-function reachability in the combined program + message
+    order digraph (each function maps to everything it reaches,
+    itself included)."""
+    arch_flow = flow.arches[arch]
+    adjacency: Dict[str, Set[str]] = {}
+    for caller, callees in successors(arch_flow.edges, facts=facts).items():
+        adjacency.setdefault(caller, set()).update(callees)
+    solution = solve_params(arch_flow.bindings, facts)
+    for site in arch_flow.sends:
+        if not eval_guards(site.guards, facts):
+            continue
+        resolved = concrete_types(site.types, solution)
+        table = arch_flow.dispatch.get(site.channel)
+        if table is None:
+            continue
+        for msg_type in resolved.literals:
+            handlers = table.handlers.get(msg_type, ())
+            edge_set = adjacency.setdefault(site.function, set())
+            edge_set.add(table.loop)
+            edge_set.update(handlers)
+    closure: Dict[str, Set[str]] = {}
+    for name in arch_flow.universe:
+        seen: Set[str] = set()
+        stack = [name]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(adjacency.get(node, ()))
+        closure[name] = seen
+    return closure
+
+
+def ordered(closure: Dict[str, Set[str]], first: str,
+            second: str) -> bool:
+    """Whether *first* and *second* are happens-before comparable."""
+    return (second in closure.get(first, ())
+            or first in closure.get(second, ()))

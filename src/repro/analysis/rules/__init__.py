@@ -5,7 +5,7 @@ import lazily so framework users pay for rules only when running them.
 """
 
 from repro.analysis.rules import (api, caches, determinism, fastpath,
-                                  protocol, slots)
+                                  flow, protocol, slots)
 
-__all__ = ["api", "caches", "determinism", "fastpath", "protocol",
-           "slots"]
+__all__ = ["api", "caches", "determinism", "fastpath", "flow",
+           "protocol", "slots"]

@@ -1,4 +1,4 @@
-"""No module-level mutable caches in the workload generators.
+"""No module-level mutable caches anywhere in :mod:`repro`.
 
 A module-global dict/list/set that functions write into (the classic
 ``_cache = {}`` memo) is shared mutable state with process lifetime:
@@ -11,8 +11,10 @@ A module-global dict/list/set that functions write into (the classic
   — an invisible input that serial ≡ parallel equivalence cannot
   tolerate.
 
-``repro/workloads`` feeds the deterministic event calendar, so the
-pattern is banned there.  The sanctioned alternatives are a *bounded*
+Everything under ``repro/`` either feeds the deterministic event
+calendar or post-processes its outputs, so the pattern is banned
+tree-wide (it started in ``repro/workloads`` and was widened once the
+rest of the tree was clean).  The sanctioned alternatives are a *bounded*
 ``functools.lru_cache`` on a pure function (see
 :func:`repro.workloads.zipfian.zeta` — cost-only memoization, and the
 decorator makes the cache's identity explicit) or instance-level state
@@ -38,7 +40,7 @@ from repro.analysis.core import (ModuleSource, Project, Rule,
 from repro.analysis.report import Finding
 
 #: Subsystems where the module-mutable-cache pattern is banned.
-CACHE_FREE_SUBSYSTEMS = ("repro/workloads",)
+CACHE_FREE_SUBSYSTEMS = ("repro/",)
 
 #: Constructor names whose result is a mutable container.
 MUTABLE_CONSTRUCTORS = {
@@ -187,7 +189,7 @@ def _module_cache_findings(module: ModuleSource) -> Iterator[Finding]:
 @rule
 class ModuleMutableCacheRule(Rule):
     id = "no-module-mutable-cache"
-    title = "no function-mutated module-level containers in workloads"
+    title = "no function-mutated module-level containers"
 
     def check(self, project: Project) -> Iterator[Finding]:
         for module in project.modules_under(*CACHE_FREE_SUBSYSTEMS):

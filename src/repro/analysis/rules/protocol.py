@@ -30,6 +30,12 @@ read/write sets over those fields (mapped through the sanctioned
   of the model checker's Table I race conditions — and the full
   per-handler table (both engines, with the baseline-vs-offload diff)
   is emitted under ``metadata_access`` in ``repro lint --json``.
+
+``meta-durable-without-log`` and ``meta-race`` are emitted as
+non-gating *warnings*: their single-function view is superseded by the
+interprocedural ``flow-durable-order`` and ``flow-meta-race`` rules
+(:mod:`repro.analysis.rules.flow`), which track witnesses and
+happens-before ordering across function boundaries and gate instead.
 """
 
 from __future__ import annotations
@@ -458,7 +464,8 @@ class MetadataAccessRule(Rule):
                                     "log append, ACK_P/persist event "
                                     "wait, or VAL_P dispatch) on this "
                                     "path — violates Table I "
-                                    "persistency ordering")
+                                    "persistency ordering",
+                            severity="warning")
 
     # -- meta-race ----------------------------------------------------------
 
@@ -494,7 +501,8 @@ class MetadataAccessRule(Rule):
                             f"{', '.join(partners[:3])}"
                             f"{'…' if len(partners) > 3 else ''} — "
                             f"needs WRLock, vFIFO serialization, or a "
-                            f"RecordMeta accessor (Table I)")
+                            f"RecordMeta accessor (Table I)",
+                    severity="warning")
 
     def tables(self, project: Project) -> Dict[str, object]:
         return {"metadata_access": build_access_table(project)}

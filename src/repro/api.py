@@ -53,10 +53,16 @@ The surface, by theme:
   :func:`validate_chrome_trace` (see docs/observability.md).
 * **Results** — :class:`OpResult`, :class:`ExperimentResult`,
   :class:`Metrics`, :class:`Timestamp`.
+* **Static analysis** — :func:`run_analysis` (the ``repro lint`` pass
+  over a checkout) and :func:`extract_protocol_graph` (the
+  interprocedural protocol-flow IR, schema ``repro-protocol-graph/1``;
+  see docs/static_analysis.md).
 """
 
 from __future__ import annotations
 
+from repro.analysis import run_analysis
+from repro.analysis.flow import extract_protocol_graph
 from repro.bench.harness import (ExperimentConfig, ExperimentResult,
                                  run_experiment, run_microservice)
 from repro.check import (CheckReport, CheckWorkload, DurabilityReport,
@@ -162,4 +168,7 @@ __all__ = [
     "OpResult",
     "Metrics",
     "Timestamp",
+    # static analysis
+    "run_analysis",
+    "extract_protocol_graph",
 ]

@@ -308,7 +308,11 @@ def _build_parser() -> argparse.ArgumentParser:
                       "plus the per-handler metadata access tables)")
     lint.add_argument("--rule", action="append", dest="rules",
                       metavar="RULE_ID",
-                      help="run only this rule (repeatable)")
+                      help="run only this rule (repeatable; unknown rule "
+                      "ids are a hard error)")
+    lint.add_argument("--graph", default=None, metavar="FILE",
+                      help="also export the interprocedural protocol "
+                      "graph (repro-protocol-graph/1 JSON) to FILE")
     lint.add_argument("--baseline", default=None, metavar="FILE",
                       help="suppression file (default: lint-baseline.json "
                       "at the repo root, when present)")
@@ -832,27 +836,52 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
+    """Exit codes: 0 clean, 1 gating findings, 2 usage or internal
+    analyzer error (unknown ``--rule``, crash inside a rule)."""
+    import json as _json
+    import traceback
     from pathlib import Path
 
     from repro.analysis import (BASELINE_NAME, Baseline, analyze_project,
-                                find_project_root, load_project,
-                                render_json, render_text)
+                                available_rules, find_project_root,
+                                load_project, render_json, render_text)
 
+    if args.rules:
+        known = available_rules()
+        unknown = [name for name in args.rules if name not in known]
+        if unknown:
+            print(f"error: unknown rule id(s): {', '.join(unknown)}; "
+                  f"available: {', '.join(known)}", file=sys.stderr)
+            return 2
     root = find_project_root(args.paths[0] if args.paths else None)
     baseline_path = (Path(args.baseline) if args.baseline
                      else root / BASELINE_NAME)
-    if args.update_baseline:
+    try:
+        if args.update_baseline:
+            project = load_project(root, paths=args.paths or None)
+            result = analyze_project(project, only=args.rules)
+            Baseline.from_findings(result.findings).save(baseline_path)
+            print(f"wrote {baseline_path} "
+                  f"({len(result.findings)} suppressions)")
+            return 0
+        baseline = None
+        if not args.no_baseline and baseline_path.is_file():
+            baseline = Baseline.load(baseline_path)
         project = load_project(root, paths=args.paths or None)
-        result = analyze_project(project, only=args.rules)
-        Baseline.from_findings(result.findings).save(baseline_path)
-        print(f"wrote {baseline_path} "
-              f"({len(result.findings)} suppressions)")
-        return 0
-    baseline = None
-    if not args.no_baseline and baseline_path.is_file():
-        baseline = Baseline.load(baseline_path)
-    project = load_project(root, paths=args.paths or None)
-    result = analyze_project(project, baseline=baseline, only=args.rules)
+        result = analyze_project(project, baseline=baseline,
+                                 only=args.rules)
+        if args.graph:
+            from repro.analysis.flow import build_flow, export_graph
+
+            flow = project.shared("flow", build_flow)
+            document = export_graph(flow)
+            Path(args.graph).write_text(
+                _json.dumps(document, indent=2) + "\n", encoding="utf-8")
+    except Exception:  # noqa: BLE001 — analyzer crash is exit code 2
+        traceback.print_exc()
+        print("error: internal analyzer error (see traceback above)",
+              file=sys.stderr)
+        return 2
     if args.json:
         print(render_json(result))
     else:

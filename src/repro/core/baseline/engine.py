@@ -35,6 +35,9 @@ P = Persistency
 class BaselineEngine(EngineBase):
     """Per-node MINOS-B protocol engine."""
 
+    __slots__ = ("config", "nic", "tolerate_stale_acks", "control_handler",
+                 "_handler_names", "_persist_name")
+
     def __init__(self, sim: Simulator, node_id: int, params: MachineParams,
                  model: DDPModel, config: ProtocolConfig, host: Host,
                  nic: BaselineNic, kv: MinosKV, peers, metrics: Metrics) -> None:

@@ -166,7 +166,22 @@ def validate_model(model: DDPModel) -> None:
 
 
 class EngineBase:
-    """State and helpers common to the baseline and offload engines."""
+    """State and helpers common to the baseline and offload engines.
+
+    The whole engine hierarchy declares ``__slots__``: one engine is
+    instantiated per simulated node and hot handlers touch engine
+    attributes on every message, so the fixed layout buys both memory
+    and attribute-lookup speed.  Post-construction hooks (``tracer``,
+    ``obs``, ``robustness``, ``control_handler``, ``crashed``,
+    ``tolerate_stale_acks``) are declared here and attached by
+    assignment — never by adding new attributes.
+    """
+
+    __slots__ = ("sim", "node_id", "params", "model", "host", "kv",
+                 "peers", "metrics", "scope_tracker", "_txns",
+                 "_last_version", "crashed", "tracer", "obs",
+                 "robustness", "_seq_counter", "_inv_replies",
+                 "_inv_reply_order")
 
     def __init__(self, sim: Simulator, node_id: int, params: MachineParams,
                  model: DDPModel, host: Host, kv: MinosKV,

@@ -44,6 +44,12 @@ P = Persistency
 class OffloadEngine(EngineBase):
     """Per-node MINOS-O protocol engine (host + SNIC halves)."""
 
+    __slots__ = ("config", "snic", "tolerate_stale_acks", "control_handler",
+                 "_pending_entries", "_coord_seen", "_snic_handler_names",
+                 "_hosth_name", "_vtail_name", "_dtail_name", "_cinv_name",
+                 "_cper_name", "_clocal_name", "_eclocal_name", "_dq_name",
+                 "_fdq_name", "_ecdq_name", "_done_name", "_notify_name")
+
     def __init__(self, sim: Simulator, node_id: int, params: MachineParams,
                  model: DDPModel, config: ProtocolConfig, host: Host,
                  snic: SmartNic, kv: MinosKV, peers,

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Any, List, Optional
 
 from repro.errors import ConfigError
@@ -60,19 +61,15 @@ class Envelope:
         return self.dests is not None
 
 
-_endpoint_names: dict = {}
-
-
+@lru_cache(maxsize=1024)
 def nic_endpoint(node_id: int) -> str:
     """The network-fabric endpoint name for node *node_id*'s NIC.
 
-    Interned in a module cache: this is called once per message hop, and
+    Memoized (bounded ``lru_cache`` on a pure function — the sanctioned
+    form of the interning this does): called once per message hop, and
     the f-string rendering is measurable at that frequency.
     """
-    name = _endpoint_names.get(node_id)
-    if name is None:
-        name = _endpoint_names[node_id] = f"nic{node_id}"
-    return name
+    return f"nic{node_id}"
 
 
 class BaselineNic:

@@ -19,8 +19,11 @@ Performance notes (the kernel bounds every experiment's wall-clock):
   calendar entry — only allocation traffic — and can be disabled by
   setting :attr:`timeout_pooling` to ``False`` (the perf-regression tests
   assert the calendar is identical either way).
-* All scheduling funnels through :meth:`_schedule_event`, which tests may
-  wrap to record the calendar.
+* All scheduling funnels through :meth:`_schedule_event`.  Tests that need
+  to record the calendar assign :attr:`Simulator.schedule_observer` — a
+  ``(event, delay)`` callable invoked on every push — instead of wrapping
+  the method (the class uses ``__slots__``, so per-instance method
+  monkeypatching is not possible).
 """
 
 from __future__ import annotations
@@ -49,6 +52,10 @@ class Simulator:
         the process event — surfacing protocol bugs loudly.
     """
 
+    __slots__ = ("_now", "_queue", "_seq", "strict", "events_processed",
+                 "_timeout_pool", "timeout_pooling", "_next_write_id",
+                 "_next_persist_id", "schedule_observer")
+
     def __init__(self, strict: bool = True) -> None:
         self._now: float = 0.0
         self._queue: List[Tuple[float, int, Event]] = []
@@ -68,6 +75,10 @@ class Simulator:
         # executor's serial ≡ parallel contract depends on it.
         self._next_write_id: int = 1
         self._next_persist_id: int = 1
+        #: Optional ``(event, delay)`` callable invoked on every calendar
+        #: push — the calendar-identity tests use it to record the full
+        #: event schedule without perturbing it.
+        self.schedule_observer: Optional[Any] = None
 
     def next_write_id(self) -> int:
         """A unique id for each client-write transaction of *this*
@@ -140,6 +151,8 @@ class Simulator:
         """Put *event* on the calendar to run its callbacks after *delay*."""
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        if self.schedule_observer is not None:
+            self.schedule_observer(event, delay)
         seq = self._seq + 1
         self._seq = seq
         _heappush(self._queue, (self._now + delay, seq, event))

@@ -127,3 +127,112 @@ class TestRuleSelection:
         out = capsys.readouterr().out
         assert "slots-required" in out
         assert "no-wallclock" not in out
+
+
+class TestExitCodes:
+    """The contract CI scripts rely on: 0 clean, 1 findings, 2 usage or
+    internal analyzer error."""
+
+    def _violating_tree(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text("")
+        pkg = tmp_path / "src" / "repro" / "sim"
+        pkg.mkdir(parents=True)
+        (pkg / "kernel.py").write_text(
+            "import time\n\n\ndef now():\n    return time.time()\n")
+        return tmp_path
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        root = self._violating_tree(tmp_path)
+        assert main(["lint", str(root / "src" / "repro"),
+                     "--no-baseline"]) == 1
+        capsys.readouterr()
+
+    def test_unknown_rule_exits_two(self, tmp_path, capsys):
+        root = self._violating_tree(tmp_path)
+        code = main(["lint", str(root / "src" / "repro"),
+                     "--no-baseline", "--rule", "no-such-rule"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "unknown rule" in captured.err
+        assert "no-such-rule" in captured.err
+
+    def test_internal_error_exits_two(self, tmp_path, capsys):
+        """A crash inside the analyzer (here: an unreadable baseline)
+        must be distinguishable from 'findings present'."""
+        root = self._violating_tree(tmp_path)
+        bad = root / "lint-baseline.json"
+        bad.write_text("{not json")
+        code = main(["lint", str(root / "src" / "repro"),
+                     "--baseline", str(bad)])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "internal analyzer error" in captured.err
+
+
+class TestJsonContract:
+    """Pin the ``repro-lint/1`` payload: downstream tooling parses it."""
+
+    def test_payload_keys_and_finding_shape(self, tmp_path, capsys):
+        (tmp_path / "pyproject.toml").write_text("")
+        pkg = tmp_path / "src" / "repro" / "sim"
+        pkg.mkdir(parents=True)
+        (pkg / "kernel.py").write_text(
+            "import time\n\n\ndef now():\n    return time.time()\n")
+        assert main(["lint", str(pkg), "--no-baseline", "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro-lint/1"
+        assert set(payload) >= {"schema", "files_checked", "findings",
+                                "suppressed", "metadata_access", "tables"}
+        (finding,) = [f for f in payload["findings"]
+                      if f["rule"] == "no-wallclock"]
+        assert set(finding) >= {"rule", "path", "line", "symbol",
+                                "message", "severity"}
+        assert finding["path"].endswith("kernel.py")
+        assert isinstance(finding["line"], int)
+
+    def test_flow_rules_are_registered(self):
+        from repro.analysis import available_rules
+
+        assert {"flow-unhandled-message", "flow-send-without-timeout",
+                "flow-durable-order",
+                "flow-meta-race"} <= set(available_rules())
+
+
+class TestGraphExport:
+    def test_graph_flag_writes_versioned_document(self, tmp_path, capsys):
+        out = tmp_path / "protocol-graph.json"
+        assert main(["lint", "--graph", str(out)]) == 0
+        capsys.readouterr()
+        document = json.loads(out.read_text())
+        assert document["schema"] == "repro-protocol-graph/1"
+        assert set(document["arches"]) == {"baseline", "offload"}
+
+
+class TestBaselineStability:
+    def test_update_baseline_is_sorted_and_stable(self, tmp_path, capsys):
+        (tmp_path / "pyproject.toml").write_text("")
+        pkg = tmp_path / "src" / "repro" / "sim"
+        pkg.mkdir(parents=True)
+        (pkg / "b.py").write_text(
+            "import time\n\n\ndef later():\n    return time.time()\n")
+        (pkg / "a.py").write_text(
+            "import time\n\n\ndef earlier():\n    return time.time()\n")
+        baseline = tmp_path / "lint-baseline.json"
+        assert main(["lint", str(pkg), "--baseline", str(baseline),
+                     "--update-baseline"]) == 0
+        capsys.readouterr()
+        first = baseline.read_text()
+        payload = json.loads(first)
+        keys = [(s["rule"], s["path"], s["symbol"])
+                for s in payload["suppressions"]]
+        assert keys == sorted(keys), "baseline must be written sorted"
+        assert main(["lint", str(pkg), "--baseline", str(baseline),
+                     "--update-baseline"]) == 0
+        capsys.readouterr()
+        assert baseline.read_text() == first, \
+            "re-updating an unchanged tree must be byte-stable"
+
+    def test_shipped_baseline_is_empty(self):
+        payload = json.loads((ROOT / "lint-baseline.json").read_text())
+        assert payload["schema"] == "repro-lint-baseline/1"
+        assert payload["suppressions"] == []

@@ -1,4 +1,4 @@
-"""no-module-mutable-cache: function-mutated module globals in workloads."""
+"""no-module-mutable-cache: function-mutated module globals in repro."""
 
 import textwrap
 
@@ -62,6 +62,19 @@ class TestFlagged:
         """), only=ONLY)
         assert "no-module-mutable-cache" in index
 
+    def test_outside_workloads_also_flagged(self, finding_index):
+        """The ban is tree-wide, not workloads-only."""
+        index = finding_index({
+            "src/repro/metrics/mod.py": textwrap.dedent("""
+                _cache = {}
+
+                def get(n):
+                    _cache[n] = n
+                    return _cache[n]
+            """)}, only=ONLY)
+        assert index["no-module-mutable-cache"] == [
+            ("src/repro/metrics/mod.py", 2)]
+
 
 class TestAllowed:
     def test_read_only_constant_table_allowed(self, finding_index):
@@ -102,18 +115,6 @@ class TestAllowed:
                 return sum(1.0 / i for i in range(1, n + 1))
         """), only=ONLY)
         assert index == {}
-
-    def test_outside_workloads_allowed(self, finding_index):
-        index = finding_index({
-            "src/repro/metrics/mod.py": textwrap.dedent("""
-                _cache = {}
-
-                def get(n):
-                    _cache[n] = n
-                    return _cache[n]
-            """)}, only=ONLY)
-        assert index == {}
-
 
 def test_workloads_tree_is_clean(finding_index):
     """The shipped workload generators satisfy their own rule (the

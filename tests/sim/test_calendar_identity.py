@@ -3,10 +3,11 @@
 Every fast path in the kernel and fabric — pooled timeouts, the
 skip-when-no-tracer guards in the engines, the skip-when-no-injector
 branch in ``Port._deliver`` — claims to change only constant factors,
-never behavior.  These tests pin that claim: they wrap
-:meth:`Simulator._schedule_event` (the single heap-push choke point)
-to record the full event calendar of a small-but-real workload and
-assert the recording is *identical* with the optimization on and off.
+never behavior.  These tests pin that claim: they install a
+:attr:`Simulator.schedule_observer` hook (called at the single
+heap-push choke point, :meth:`Simulator._schedule_event`) to record
+the full event calendar of a small-but-real workload and assert the
+recording is *identical* with the optimization on and off.
 
 A divergence here means an optimization changed simulation semantics,
 which invalidates every figure the repo produces — treat failures as
@@ -21,7 +22,7 @@ from repro.sim.kernel import Simulator
 
 
 def record_calendar(sim):
-    """Wrap ``sim._schedule_event`` so every push is recorded.
+    """Install a ``schedule_observer`` so every push is recorded.
 
     Returns the list the pushes land in; each entry is ``(now, delay)``
     — enough to detect any reordering, retiming, or added/removed
@@ -29,13 +30,11 @@ def record_calendar(sim):
     (pooling deliberately reuses instances).
     """
     calendar = []
-    inner = sim._schedule_event
 
-    def recording(event, delay=0.0):
+    def observe(event, delay):
         calendar.append((sim._now, delay))
-        inner(event, delay)
 
-    sim._schedule_event = recording
+    sim.schedule_observer = observe
     return calendar
 
 
