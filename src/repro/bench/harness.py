@@ -40,6 +40,10 @@ class ExperimentConfig:
     persist_every: Optional[int] = None
     #: Per-write payload size in bytes (None: machine default, 1 KB).
     value_size: Optional[int] = None
+    #: ``"compiled"`` (protocol-compiled engines, the default) or
+    #: ``"interpreted"`` (reference engines).  Calendar-identical either
+    #: way; only wall-clock differs.
+    engine_mode: str = "compiled"
 
     def label(self) -> str:
         return (f"{self.config.name}/{self.model}/n{self.nodes}"
@@ -81,7 +85,7 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     """Build a cluster per *config*, run the YCSB workload, reduce."""
     machine = config.machine.with_nodes(config.nodes)
     cluster = MinosCluster(model=config.model, config=config.config,
-                           params=machine)
+                           params=machine, engine_mode=config.engine_mode)
     workload = YcsbWorkload(records=config.records,
                             requests_per_client=config.requests_per_client,
                             write_fraction=config.write_fraction,

@@ -1,0 +1,153 @@
+"""Compiled engine classes: graph + config → specialized subclass.
+
+:func:`compiled_engine_class` is what :class:`~repro.cluster.cluster.Node`
+calls when ``engine_mode="compiled"``: it compiles the protocol graph's
+triple into a :class:`~repro.compile.dispatch.CompiledDispatch`, runs
+the AST specializer over the engine's hot methods, and ``exec``s the
+result into a subclass of the interpreted engine (so every cold-path
+method is inherited unchanged).
+
+Fallback semantics: a triple the graph simply does not know
+(:class:`~repro.errors.TripleNotInGraph`) degrades to the interpreted
+engine with a :class:`RuntimeWarning` — the cluster still runs.  A
+graph that *disagrees* with the engines
+(:class:`~repro.errors.CompileError`) propagates: silently interpreting
+would mask a corrupt IR, which is the failure mode the seeded-mutant
+gate exists to catch.
+
+Engine imports happen lazily inside the build so ``import
+repro.compile`` stays dependency-light (the lint CLI shares the graph
+cache without pulling in the simulator).
+"""
+
+from __future__ import annotations
+
+import warnings
+from functools import lru_cache
+from typing import Any, Mapping, Optional
+
+from repro.compile.dispatch import REQUIRED_FACTS, CompiledDispatch, \
+    compile_protocol
+from repro.compile.graphio import default_graph
+from repro.compile.specialize import MethodSpecializer, \
+    assemble_class_source, dispatch_method_source
+from repro.errors import CompileError, TripleNotInGraph
+
+
+def compiled_engine_class(model: Any, config: Any, *,
+                          graph: Optional[Mapping[str, Any]] = None,
+                          root: Any = None) -> Optional[type]:
+    """The specialized engine class for ⟨*model*, *config*⟩, or ``None``
+    when the graph lacks the triple (callers fall back to interpreted).
+
+    With the default graph the result is cached per ⟨model, config,
+    source fingerprint⟩; an explicit *graph* (scratch/mutated documents
+    in tests) always builds fresh.
+    """
+    if graph is not None:
+        try:
+            return _build_class(model, config, dict(graph))
+        except TripleNotInGraph as exc:
+            _warn_fallback(model, config, str(exc))
+            return None
+    document = default_graph(root)
+    if document is None:
+        _warn_fallback(model, config, "no protocol graph could be located")
+        return None
+    from repro.compile.graphio import FINGERPRINT_KEY
+
+    try:
+        return _cached_class(model, config,
+                             document.get(FINGERPRINT_KEY, ""), root)
+    except TripleNotInGraph as exc:
+        _warn_fallback(model, config, str(exc))
+        return None
+
+
+def _warn_fallback(model: Any, config: Any, reason: str) -> None:
+    name = getattr(model, "name", model)
+    warnings.warn(
+        f"protocol compiler: falling back to the interpreted engine for "
+        f"<{name}, {getattr(config, 'name', config)}>: {reason}",
+        RuntimeWarning, stacklevel=3)
+
+
+@lru_cache(maxsize=64)
+def _cached_class(model: Any, config: Any, fingerprint: str,
+                  root: Any) -> type:
+    # ``fingerprint`` is part of the key so an in-process source edit
+    # that refreshes the default graph also rebuilds the class.
+    document = default_graph(root)
+    if document is None:  # pragma: no cover - raced tree removal
+        raise TripleNotInGraph("no protocol graph could be located")
+    return _build_class(model, config, document)
+
+
+def _build_class(model: Any, config: Any, graph: Mapping[str, Any]) -> type:
+    dispatch = compile_protocol(model, config, graph=graph)
+    arch = dispatch.arch
+    if arch == "offload":
+        from repro.core.offload import engine as engine_module
+
+        base: type = engine_module.OffloadEngine
+    else:
+        from repro.core.baseline import engine as engine_module
+
+        base = engine_module.BaselineEngine
+    from repro.core import engine as core_engine
+    from repro.core.model import Persistency
+
+    env = _fold_environment(dispatch, config, Persistency)
+    specializer = MethodSpecializer(env, arch, Persistency)
+    sources = []
+    for name in (core_engine.COMPILED_BASE_METHODS
+                 + engine_module.COMPILED_METHODS):
+        func = getattr(base, name, None)
+        if func is None:
+            raise CompileError(
+                f"{base.__name__} has no method {name!r} to specialize")
+        extra = None
+        if name == "_snic_coord_inv":
+            # The only envelopes routed to this handler come from
+            # ``_host_deposit_invs``, whose shape is decided by the
+            # batching flag — so ``envelope.is_batched`` is a constant.
+            extra = {"envelope.is_batched": bool(config.batching)}
+        sources.append(specializer.specialize(func, extra_env=extra))
+    sources.append(dispatch_method_source(dispatch))
+
+    cls_name = "Compiled{}_{}__{}".format(
+        base.__name__, dispatch.model,
+        "".join(c if c.isalnum() else "_" for c in config.name))
+    class_source = assemble_class_source(cls_name, base.__name__, sources)
+    namespace = dict(vars(engine_module))
+    code = compile(class_source,
+                   f"<repro.compile:{arch}/{dispatch.model}/{config.name}>",
+                   "exec")
+    exec(code, namespace)
+    cls = namespace[cls_name]
+    cls.__compiled_source__ = class_source
+    cls.__compiled_dispatch__ = dispatch
+    return cls
+
+
+def _fold_environment(dispatch: CompiledDispatch, config: Any,
+                      persistency_enum: type) -> dict:
+    """Dotted-path → constant map the specializer folds against.  Model
+    facts come from the *graph* (via the dispatch), never from the live
+    :class:`DDPModel` — the mutant gate depends on that."""
+    facts = dispatch.facts_dict()
+    env: dict = {}
+    for name in REQUIRED_FACTS:
+        env[f"self.model.{name}"] = bool(facts[name])
+    persistency = persistency_enum[facts["persistency"]]
+    env["self.model.persistency"] = persistency
+    env["self.config.offload"] = bool(getattr(config, "offload", False))
+    env["self.config.batching"] = bool(getattr(config, "batching", False))
+    env["self.config.broadcast"] = bool(getattr(config, "broadcast", False))
+    if dispatch.arch == "offload":
+        # ``Node`` copies ``config.broadcast`` onto the SmartNIC model.
+        env["self.snic.broadcast"] = env["self.config.broadcast"]
+    for member in persistency_enum:
+        env[f"P.{member.name}"] = member
+        env[f"Persistency.{member.name}"] = member
+    return env

@@ -1,0 +1,130 @@
+"""Protocol-graph IO for the compiler: load, derive, fingerprint, cache.
+
+The compiler (:mod:`repro.compile.factory`) and ``repro lint --graph``
+both need the ``repro-protocol-graph/1`` document that
+:func:`repro.analysis.flow.export_graph` produces.  Deriving it walks
+and parses the whole source tree (~0.7 s), so this module adds the one
+piece the flow layer deliberately does not have: a content-hash cache.
+
+Every document written through here carries a ``source_fingerprint``
+key — a SHA-256 over the relative path and bytes of every ``*.py`` file
+under ``src/repro``.  A stored graph is *fresh* exactly when its
+fingerprint matches the current tree; mtimes are never consulted, so
+the cache is immune to checkout/copy timestamp noise and a one-byte
+engine edit invalidates it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from functools import lru_cache
+from pathlib import Path
+from typing import Callable, Optional
+
+#: Document key carrying the source-tree hash (additive to the
+#: ``repro-protocol-graph/1`` schema; absent in pre-cache exports,
+#: which are therefore always treated as stale).
+FINGERPRINT_KEY = "source_fingerprint"
+
+#: Where a committed graph lives, relative to the project root.
+GRAPH_FILENAME = "protocol-graph.json"
+
+
+def find_root(root: Optional[Path] = None) -> Path:
+    if root is not None:
+        return Path(root)
+    from repro.analysis import find_project_root
+
+    return find_project_root()
+
+
+def source_fingerprint(root: Optional[Path] = None) -> str:
+    """Content hash of every Python source the protocol graph is
+    derived from (the whole ``src/repro`` tree: the flow derivation
+    resolves guards and call chains across subsystems, so hashing a
+    subset would under-invalidate)."""
+    base = find_root(root) / "src" / "repro"
+    digest = hashlib.sha256()
+    for path in sorted(base.rglob("*.py")):
+        digest.update(path.relative_to(base).as_posix().encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return "sha256:" + digest.hexdigest()
+
+
+def derive_graph(root: Optional[Path] = None) -> dict:
+    """Re-derive the protocol graph from source and stamp it with the
+    tree's fingerprint."""
+    from repro.analysis.flow import extract_protocol_graph
+
+    root = find_root(root)
+    document = extract_protocol_graph(root=root)
+    document[FINGERPRINT_KEY] = source_fingerprint(root)
+    return document
+
+
+def load_graph(path: Path, root: Optional[Path] = None,
+               verify: bool = True) -> Optional[dict]:
+    """Load a stored graph, or ``None`` if it is missing, unparseable,
+    or (with *verify*) stale against the current source tree."""
+    path = Path(path)
+    if not path.is_file():
+        return None
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+    if not isinstance(document, dict) or "arches" not in document:
+        return None
+    if verify and document.get(FINGERPRINT_KEY) != source_fingerprint(root):
+        return None
+    return document
+
+
+def refresh_graph(path: Path, root: Optional[Path] = None,
+                  use_cache: bool = True,
+                  derive: Optional[Callable[[], dict]] = None) -> bool:
+    """Write a fresh graph to *path* unless the stored one is current.
+
+    Returns ``True`` when the graph was (re-)derived and written,
+    ``False`` on a cache hit.  *derive* lets a caller that already
+    holds a parsed project (the lint CLI) supply the export cheaply; it
+    must return the plain document, which is fingerprint-stamped here.
+    """
+    root = find_root(root)
+    if use_cache and load_graph(path, root) is not None:
+        return False
+    document = derive() if derive is not None else None
+    if document is None:
+        document = derive_graph(root)
+    else:
+        document[FINGERPRINT_KEY] = source_fingerprint(root)
+    Path(path).write_text(json.dumps(document, indent=2) + "\n",
+                          encoding="utf-8")
+    return True
+
+
+@lru_cache(maxsize=4)
+def _default_graph_cached(root: Path) -> Optional[dict]:
+    try:
+        stored = load_graph(root / GRAPH_FILENAME, root)
+        if stored is not None:
+            return stored
+        return derive_graph(root)
+    except Exception:  # pragma: no cover - derivation requires a src tree
+        return None
+
+
+def default_graph(root: Optional[Path] = None) -> Optional[dict]:
+    """The process-wide protocol graph: the committed
+    ``protocol-graph.json`` when fresh, else a one-off derivation.
+    Cached per root (bounded); treat the returned document as
+    read-only.  ``None`` when no source tree can be located — callers
+    fall back to the interpreted engines."""
+    try:
+        root = find_root(root)
+    except Exception:
+        return None
+    return _default_graph_cached(root)

@@ -1,0 +1,510 @@
+"""AST specialization passes: interpreted engine methods → compiled ones.
+
+Given a :class:`~repro.compile.dispatch.CompiledDispatch` (the folded
+facts and dispatch table for one triple), this module re-emits the
+engines' hot methods with the interpretation overhead removed:
+
+* **constant folding** — ``self.model.*`` policy tests and
+  ``self.config.batching``/``broadcast`` tests become constants from
+  the *graph's* facts, and the dead branches are pruned.  All folds are
+  value-exact (``True and x`` → ``x``, a leading-``False`` ``and``
+  chain → ``False``), so a fold can never change behavior — only a
+  wrong *fact* can, which is exactly what the mutant gate exploits.
+* **dispatch flattening** — ``_handle_message`` / ``_snic_net_handle``
+  are generated from the graph's per-channel dispatch table as a chain
+  of identity tests on the message type, calling the graph-named entry
+  handler directly.
+* **call inlining** — the per-message helper generators
+  (``host.compute``/``sync_op``, ``snic.compute``, ``_reply``,
+  ``_send_control``, ``_snic_reply``) are substituted with their
+  bodies, eliminating a generator frame per call; retransmit arming
+  (``watch_retransmits``) and sequence stamping (``stamp``) become
+  inline ``robustness``-guarded statements, so the fault-free fast
+  path pays one attribute test instead of a call.
+* **message preallocation** — keyword ``Message(...)`` construction is
+  rewritten to positional form over the dataclass's fixed field tuple.
+
+The transforms never touch the dynamic attachment points (``tracer``,
+``obs``, ``robustness``, ``crashed``, ``control_handler``): those are
+assigned after construction and must stay runtime-guarded.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.compile.dispatch import CompiledDispatch
+
+#: ``Message`` dataclass field order (sans ``write_id``, whose default
+#: is a factory and therefore must never be filled positionally).
+MESSAGE_FIELDS = ("type", "key", "ts", "src", "value", "scope",
+                  "persist_id", "size", "seq")
+
+_UNKNOWN = object()
+
+
+def attr_path(node: ast.expr) -> Optional[str]:
+    """Dotted path of a Name/Attribute chain, or ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _stmts(source: str) -> List[ast.stmt]:
+    return ast.parse(textwrap.dedent(source)).body
+
+
+class _ExprFolder(ast.NodeTransformer):
+    """Value-exact expression folds against a path→constant environment."""
+
+    def __init__(self, env: Mapping[str, Any], enum_emitter) -> None:
+        self.env = env
+        self._emit_const = enum_emitter
+
+    # -- known-value resolution -------------------------------------------
+
+    def _known(self, node: ast.expr) -> Any:
+        if isinstance(node, ast.Constant):
+            return node.value
+        path = attr_path(node)
+        if path is not None and path in self.env:
+            return self.env[path]
+        if isinstance(node, ast.Tuple):
+            values = [self._known(e) for e in node.elts]
+            if any(v is _UNKNOWN for v in values):
+                return _UNKNOWN
+            return tuple(values)
+        return _UNKNOWN
+
+    # -- folds -------------------------------------------------------------
+
+    def visit_Attribute(self, node: ast.Attribute) -> ast.expr:
+        if isinstance(node.ctx, ast.Load):
+            value = self._known(node)
+            if value is not _UNKNOWN:
+                return self._emit_const(value, node)
+        return self.generic_visit(node)
+
+    def visit_Name(self, node: ast.Name) -> ast.expr:
+        if isinstance(node.ctx, ast.Load) and node.id in self.env:
+            return self._emit_const(self.env[node.id], node)
+        return node
+
+    def visit_UnaryOp(self, node: ast.UnaryOp) -> ast.expr:
+        node = self.generic_visit(node)
+        if (isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.Not)
+                and isinstance(node.operand, ast.Constant)):
+            return ast.copy_location(
+                ast.Constant(not node.operand.value), node)
+        return node
+
+    def visit_BoolOp(self, node: ast.BoolOp) -> ast.expr:
+        node = self.generic_visit(node)
+        assert isinstance(node, ast.BoolOp)
+        short = isinstance(node.op, ast.Or)  # value short-circuiting on
+        kept: List[ast.expr] = []
+        for operand in node.values:
+            if isinstance(operand, ast.Constant) and not kept:
+                # Leading constant: decides the chain or drops out.
+                if bool(operand.value) is short:
+                    return operand
+                continue
+            kept.append(operand)
+            if (isinstance(operand, ast.Constant)
+                    and bool(operand.value) is short):
+                break  # later operands are never evaluated
+        if not kept:
+            # Every operand was a dropped-out constant: the chain's
+            # value is the last such constant.
+            return node.values[-1]
+        if len(kept) == 1:
+            return kept[0]
+        node.values = kept
+        return node
+
+    def visit_Compare(self, node: ast.Compare) -> ast.expr:
+        node = self.generic_visit(node)
+        assert isinstance(node, ast.Compare)
+        if len(node.ops) != 1:
+            return node
+        left = self._known(node.left)
+        right = self._known(node.comparators[0])
+        if left is _UNKNOWN or right is _UNKNOWN:
+            return node
+        op = node.ops[0]
+        if isinstance(op, ast.Is):
+            result = left is right
+        elif isinstance(op, ast.IsNot):
+            result = left is not right
+        elif isinstance(op, ast.Eq):
+            result = left == right
+        elif isinstance(op, ast.NotEq):
+            result = left != right
+        elif isinstance(op, ast.In):
+            result = left in right
+        elif isinstance(op, ast.NotIn):
+            result = left not in right
+        else:
+            return node
+        return ast.copy_location(ast.Constant(result), node)
+
+    def visit_IfExp(self, node: ast.IfExp) -> ast.expr:
+        node = self.generic_visit(node)
+        assert isinstance(node, ast.IfExp)
+        if isinstance(node.test, ast.Constant):
+            return node.body if node.test.value else node.orelse
+        return node
+
+    def visit_Call(self, node: ast.Call) -> ast.expr:
+        node = self.generic_visit(node)
+        assert isinstance(node, ast.Call)
+        return _positional_message(node)
+
+
+def _positional_message(node: ast.Call) -> ast.Call:
+    """Rewrite keyword ``Message(...)`` construction to positional form
+    over the fixed field tuple (``write_id`` stays keyword: its default
+    is a factory).  Argument evaluation order is preserved — the fields
+    are declared in the order every engine call site lists them."""
+    if not (isinstance(node.func, ast.Name) and node.func.id == "Message"):
+        return node
+    if node.args or any(kw.arg is None for kw in node.keywords):
+        return node
+    provided = {kw.arg: kw.value for kw in node.keywords}
+    core = [name for name in provided if name != "write_id"]
+    if not core or any(name not in MESSAGE_FIELDS for name in core):
+        return node
+    order = [MESSAGE_FIELDS.index(name) for name in core]
+    if order != sorted(order):
+        return node  # out-of-order kwargs: keep evaluation order intact
+    last = order[-1]
+    node.args = [provided.get(MESSAGE_FIELDS[i], ast.Constant(None))
+                 for i in range(last + 1)]
+    node.keywords = [kw for kw in node.keywords if kw.arg == "write_id"]
+    return node
+
+
+class MethodSpecializer:
+    """Applies the fold/prune/inline passes to one engine's methods."""
+
+    def __init__(self, env: Mapping[str, Any], arch: str,
+                 enum_type: type) -> None:
+        self.base_env = dict(env)
+        self.arch = arch
+        self.enum_type = enum_type
+        self._tmp_n = 0
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _tmp(self, prefix: str) -> str:
+        self._tmp_n += 1
+        return f"_{prefix}{self._tmp_n}"
+
+    def _emit_const(self, value: Any, at: ast.expr) -> ast.expr:
+        if isinstance(value, self.enum_type):
+            node: ast.expr = ast.Attribute(
+                value=ast.Name(id=self.enum_type.__name__, ctx=ast.Load()),
+                attr=value.name, ctx=ast.Load())
+        else:
+            node = ast.Constant(value)
+        return ast.copy_location(node, at)
+
+    # -- entry point -------------------------------------------------------
+
+    def specialize(self, func, extra_env: Optional[Mapping[str, Any]] = None,
+                   ) -> str:
+        source = textwrap.dedent(inspect.getsource(func))
+        fn = ast.parse(source).body[0]
+        assert isinstance(fn, ast.FunctionDef), func
+        env = dict(self.base_env)
+        if extra_env:
+            env.update(extra_env)
+        self._env = env
+        self._single_assign = _single_assignment_names(fn)
+        self._folder = _ExprFolder(env, self._emit_const)
+        fn.body = self._block(fn.body) or [ast.Pass()]
+        fn.decorator_list = []
+        ast.fix_missing_locations(fn)
+        return ast.unparse(fn)
+
+    # -- statement-level transform ----------------------------------------
+
+    def _block(self, stmts: Sequence[ast.stmt]) -> List[ast.stmt]:
+        out: List[ast.stmt] = []
+        for stmt in stmts:
+            inlined = self._try_inline(stmt)
+            if inlined is not None:
+                out.extend(inlined)
+                continue
+            stmt = self._folder.visit(stmt)
+            self._maybe_const_prop(stmt)
+            if isinstance(stmt, ast.If):
+                if isinstance(stmt.test, ast.Constant):
+                    out.extend(self._block(
+                        stmt.body if stmt.test.value else stmt.orelse))
+                    continue
+                stmt.body = self._block(stmt.body) or [ast.Pass()]
+                stmt.orelse = self._block(stmt.orelse)
+                out.append(stmt)
+                continue
+            for attr in ("body", "orelse", "finalbody"):
+                inner = getattr(stmt, attr, None)
+                if isinstance(inner, list) and inner:
+                    setattr(stmt, attr, self._block(inner) or [ast.Pass()])
+            if isinstance(stmt, ast.Try):
+                for handler in stmt.handlers:
+                    handler.body = self._block(handler.body) or [ast.Pass()]
+            out.append(stmt)
+        return out
+
+    def _maybe_const_prop(self, stmt: ast.stmt) -> None:
+        """``p = <known>`` where ``p`` is assigned exactly once: record
+        the constant so later tests on ``p`` fold.  The (now redundant)
+        assignment is kept — it is cheap and keeps any residual reader
+        working."""
+        if not (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)):
+            return
+        name = stmt.targets[0].id
+        if name not in self._single_assign:
+            return
+        value = self._folder._known(stmt.value)
+        if value is not _UNKNOWN:
+            self._env[name] = value
+
+    # -- inline substitutions ---------------------------------------------
+
+    def _try_inline(self, stmt: ast.stmt) -> Optional[List[ast.stmt]]:
+        call = _yield_from_call(stmt)
+        if call is not None:
+            path = attr_path(call.func)
+            if path == "self.host.compute" and len(call.args) == 1:
+                return self._compute_block(call.args[0], host=True)
+            if path == "self.host.sync_op" and not call.args:
+                return self._compute_block(
+                    _stmts("self.params.host.sync_latency")[0].value,  # type: ignore[attr-defined]
+                    host=True)
+            if path == "self.snic.compute" and len(call.args) == 1:
+                return self._compute_block(call.args[0], host=False)
+            if (path == "self._reply" and len(call.args) == 2
+                    and _all_simple(call.args)):
+                return self._reply_block(call.args[0], call.args[1])
+            if (path == "self._send_control" and len(call.args) == 2
+                    and _all_simple(call.args)):
+                return self._send_control_block(call.args[0], call.args[1])
+        call = _expr_call(stmt)
+        if call is not None:
+            path = attr_path(call.func)
+            if (path == "self._snic_reply" and len(call.args) == 2
+                    and _all_simple(call.args)):
+                return self._snic_reply_block(call.args[0], call.args[1])
+            if (path == "self.watch_retransmits" and len(call.args) == 3
+                    and _all_simple(call.args)):
+                return self._watch_block(*call.args)
+        if (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+                and isinstance(stmt.value, ast.Call)
+                and attr_path(stmt.value.func) == "self.stamp"
+                and len(stmt.value.args) == 1 and not stmt.value.keywords):
+            return self._stamp_block(stmt.targets[0].id, stmt.value.args[0])
+        return None
+
+    def _compute_block(self, amount: ast.expr, host: bool) -> List[ast.stmt]:
+        amount = self._folder.visit(amount)
+        cost = self._tmp("c")
+        busy = f"\n        self.host.busy_time += {cost}" if host else ""
+        unit = "host" if host else "snic"
+        return self._block_keep(f"""
+{cost} = {ast.unparse(amount)}
+if {cost} > 0:
+    yield self.{unit}.cores.request()
+    try:
+        yield self.sim.sleep({cost}){busy}
+    finally:
+        self.{unit}.cores.release()
+""")
+
+    def _send_control_block(self, dst: ast.expr,
+                            msg: ast.expr) -> List[ast.stmt]:
+        deposit = (f"self.nic.host_deposit(Envelope("
+                   f"payload={ast.unparse(msg)}, "
+                   f"size_bytes=self.params.control_size, "
+                   f"src_node=self.node_id, dst={ast.unparse(dst)}))")
+        return (self._compute_block(
+                    _load("self.params.host.msg_send_cost"), host=True)
+                + self._block_keep(f"""
+{deposit}
+self.metrics.counters.acks_sent += 1
+"""))
+
+    def _reply_block(self, msg: ast.expr, ack: ast.expr) -> List[ast.stmt]:
+        reply = self._tmp("r")
+        head = self._block_keep(f"""
+{reply} = {ast.unparse(msg)}.reply({ast.unparse(ack)}, self.node_id)
+self.record_reply({ast.unparse(msg)}, {reply})
+""")
+        return head + self._send_control_block(
+            _load(f"{ast.unparse(msg)}.src"), _load(reply))
+
+    def _snic_reply_block(self, msg: ast.expr,
+                          ack: ast.expr) -> List[ast.stmt]:
+        reply = self._tmp("r")
+        return self._block_keep(f"""
+{reply} = {ast.unparse(msg)}.reply({ast.unparse(ack)}, self.node_id)
+self.record_reply({ast.unparse(msg)}, {reply})
+self.snic.send_message({ast.unparse(msg)}.src, {reply}, self.params.control_size)
+self.metrics.counters.acks_sent += 1
+""")
+
+    def _watch_block(self, txn: ast.expr, msg: ast.expr,
+                     resend: ast.expr) -> List[ast.stmt]:
+        t, m, r = (ast.unparse(n) for n in (txn, msg, resend))
+        return self._block_keep(f"""
+if self.robustness is not None:
+    self.sim.spawn(self._retransmit_loop({t}, {m}, {r}), name=f"n{{self.node_id}}.rtx.w{{{t}.write_id}}")
+""")
+
+    def _stamp_block(self, target: str, arg: ast.expr) -> List[ast.stmt]:
+        arg = self._folder.visit(arg)
+        return self._block_keep(f"""
+{target} = {ast.unparse(arg)}
+if self.robustness is not None:
+    {target}.seq = next(self._seq_counter)
+""")
+
+    def _block_keep(self, source: str) -> List[ast.stmt]:
+        """Parse a substitution template without re-running the inline
+        pass on it (the templates are already fully expanded)."""
+        return _stmts(source)
+
+
+def _single_assignment_names(fn: ast.FunctionDef) -> set:
+    counts: Dict[str, int] = {}
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            counts[node.id] = counts.get(node.id, 0) + 1
+    args = {a.arg for a in (fn.args.args + fn.args.posonlyargs
+                            + fn.args.kwonlyargs)}
+    return {name for name, n in counts.items() if n == 1} - args
+
+
+def _yield_from_call(stmt: ast.stmt) -> Optional[ast.Call]:
+    if (isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.YieldFrom)
+            and isinstance(stmt.value.value, ast.Call)
+            and not stmt.value.value.keywords):
+        return stmt.value.value
+    return None
+
+
+def _expr_call(stmt: ast.stmt) -> Optional[ast.Call]:
+    if (isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call)
+            and not stmt.value.keywords):
+        return stmt.value
+    return None
+
+
+def _all_simple(nodes: Sequence[ast.expr]) -> bool:
+    """Safe to duplicate: names, dotted attributes, and constants only."""
+    for node in nodes:
+        while isinstance(node, ast.Attribute):
+            node = node.value
+        if not isinstance(node, (ast.Name, ast.Constant)):
+            return False
+    return True
+
+
+def _load(source: str) -> ast.expr:
+    return ast.parse(source, mode="eval").body
+
+
+# ======================================================================
+# Dispatch-method generation (graph table → flat type dispatch)
+# ======================================================================
+
+_ARM_ORDER = ("INV", "ACK", "VAL", "PERSIST")
+_FAMILIES = {
+    "ACK": ("ACK", "ACK_C", "ACK_P"),
+    "VAL": ("VAL", "VAL_C", "VAL_P"),
+}
+
+
+def dispatch_method_source(dispatch: CompiledDispatch) -> str:
+    """Generate ``_handle_message`` (baseline) / ``_snic_net_handle``
+    (offload) from the graph's dispatch table: one identity-test chain
+    over exactly the message types this triple puts on the wire, each
+    arm calling the graph-named entry handler directly."""
+    table = dispatch.as_dict()
+    offload = dispatch.arch == "offload"
+    lines: List[str] = []
+    if offload:
+        lines.append("def _snic_net_handle(self, msg):")
+        prologue_cost = "self.params.snic.msg_handler_cost"
+        unit, busy = "snic", ""
+    else:
+        lines.append("def _handle_message(self, msg):")
+        prologue_cost = "self.params.host.msg_handler_cost"
+        unit, busy = "host", "            self.host.busy_time += _c\n"
+    lines.append(f"""    _c = {prologue_cost}
+    if _c > 0:
+        yield self.{unit}.cores.request()
+        try:
+            yield self.sim.sleep(_c)
+{busy}        finally:
+            self.{unit}.cores.release()
+    t = msg.type""")
+
+    def arm(test: str, body: List[str], first: bool) -> None:
+        lines.append(f"    {'if' if first else 'elif'} {test}:")
+        lines.extend(f"        {line}" for line in body)
+
+    first = True
+    for family in _ARM_ORDER:
+        members = [m for m in _FAMILIES.get(family, (family,)) if m in table]
+        if not members:
+            continue
+        handlers = {table[m] for m in members}
+        if len(handlers) != 1:
+            from repro.errors import CompileError
+
+            raise CompileError(
+                f"{family} family maps to several handlers: {handlers}")
+        handler = handlers.pop()
+        test = " or ".join(f"t is MsgType.{m}" for m in members)
+        if family in ("INV", "PERSIST"):
+            dup = ("yield from self._answer_duplicate(msg, replies)"
+                   if not offload else
+                   "self._snic_answer_duplicate(msg, replies)")
+            body = ["replies = self.dedup_inv(msg)",
+                    "if replies is not None:",
+                    f"    {dup}",
+                    "else:",
+                    f"    yield from self.{handler}(msg)"]
+        elif family == "ACK" and not offload:
+            body = [f"self.{handler}(msg)"]
+        else:
+            body = [f"yield from self.{handler}(msg)"]
+        arm(test, body, first)
+        first = False
+    tag = "network message" if offload else "message"
+    lines.append("    else:")
+    lines.append(f"        raise ProtocolError(f\"unhandled {tag} "
+                 "{msg}\")")
+    return "\n".join(lines)
+
+
+def assemble_class_source(cls_name: str, base_name: str,
+                          method_sources: Sequence[str]) -> str:
+    lines = [f"class {cls_name}({base_name}):", "    __slots__ = ()", ""]
+    for source in method_sources:
+        lines.extend("    " + line if line else ""
+                     for line in source.splitlines())
+        lines.append("")
+    return "\n".join(lines)

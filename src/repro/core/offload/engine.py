@@ -40,6 +40,23 @@ from repro.sim.kernel import Simulator
 
 P = Persistency
 
+#: Hot-path methods :mod:`repro.compile` re-emits with model/config
+#: branches folded and helper calls inlined.  ``_snic_net_handle`` is
+#: not listed: the compiler *generates* it from the protocol graph's
+#: dispatch table instead of transforming this module's source.
+COMPILED_METHODS = (
+    "client_write", "client_read", "client_persist",
+    "_client_write_eventual", "_snic_ec_coord_local",
+    "_snic_ec_follower_inv",
+    "_host_deposit_invs", "_host_handle",
+    "_snic_coord_inv", "_snic_coord_local", "_client_done_event",
+    "_notify_host_complete", "_snic_coord_completion",
+    "_snic_send_vals", "_snic_val_rebroadcast", "_snic_coord_persist",
+    "_snic_answer_duplicate", "_snic_on_ack",
+    "_snic_ack_obsolete", "_snic_follower_inv",
+    "_snic_follower_val", "_snic_follower_persist",
+)
+
 
 class OffloadEngine(EngineBase):
     """Per-node MINOS-O protocol engine (host + SNIC halves)."""

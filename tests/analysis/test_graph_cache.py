@@ -1,0 +1,96 @@
+"""Regression tests for the ``repro lint --graph`` content-hash cache.
+
+The lint CLI used to re-derive the protocol graph on every invocation
+even when the exported ``protocol-graph.json`` was current.  The fix
+(:func:`repro.compile.graphio.refresh_graph`) stamps every exported
+document with a SHA-256 *content* fingerprint of the whole
+``src/repro`` tree and skips the derivation when the stored fingerprint
+matches — so these tests pin the cache contract: hit on an unchanged
+tree, invalidate on any engine-source edit (content, not mtime), honor
+``--no-cache``, and never trust a document without a fingerprint.
+"""
+
+import json
+import shutil
+
+import pytest
+
+from repro.analysis import find_project_root
+from repro.compile.graphio import (FINGERPRINT_KEY, load_graph,
+                                   refresh_graph, source_fingerprint)
+
+ROOT = find_project_root()
+
+ENGINE = "src/repro/core/baseline/engine.py"
+
+
+@pytest.fixture
+def scratch(tmp_path):
+    """A copy of ``src/repro`` the tests may mutate freely."""
+    (tmp_path / "pyproject.toml").write_text("")
+    shutil.copytree(ROOT / "src" / "repro", tmp_path / "src" / "repro")
+    return tmp_path
+
+
+def derive_stub():
+    """Stands in for the expensive flow export; the cache logic only
+    cares that the document round-trips with a fingerprint."""
+    return {"schema": "repro-protocol-graph/1", "arches": {}}
+
+
+def test_cache_hit_skips_derivation(scratch, tmp_path):
+    path = tmp_path / "protocol-graph.json"
+    calls = []
+
+    def derive():
+        calls.append(1)
+        return derive_stub()
+
+    assert refresh_graph(path, root=scratch, derive=derive) is True
+    assert refresh_graph(path, root=scratch, derive=derive) is False
+    assert calls == [1], "second refresh must not re-derive"
+    document = json.loads(path.read_text())
+    assert document[FINGERPRINT_KEY] == source_fingerprint(scratch)
+
+
+def test_engine_source_edit_invalidates(scratch, tmp_path):
+    """A one-byte *content* change to an engine source re-derives; the
+    cache never consults mtimes."""
+    path = tmp_path / "protocol-graph.json"
+    assert refresh_graph(path, root=scratch, derive=derive_stub) is True
+    assert refresh_graph(path, root=scratch, derive=derive_stub) is False
+    engine = scratch / ENGINE
+    engine.write_text(engine.read_text() + "\n# mutated\n")
+    assert refresh_graph(path, root=scratch, derive=derive_stub) is True
+    assert refresh_graph(path, root=scratch, derive=derive_stub) is False
+
+
+def test_no_cache_escape_hatch(scratch, tmp_path):
+    """``--no-cache`` (use_cache=False) rewrites even a current file."""
+    path = tmp_path / "protocol-graph.json"
+    assert refresh_graph(path, root=scratch, derive=derive_stub) is True
+    assert refresh_graph(path, root=scratch, derive=derive_stub,
+                         use_cache=False) is True
+
+
+def test_unfingerprinted_or_corrupt_file_is_stale(scratch, tmp_path):
+    path = tmp_path / "protocol-graph.json"
+    # Pre-cache export without a fingerprint: always stale.
+    path.write_text(json.dumps(derive_stub()))
+    assert load_graph(path, root=scratch) is None
+    assert refresh_graph(path, root=scratch, derive=derive_stub) is True
+    # Corrupt JSON: stale, not a crash.
+    path.write_text("{not json")
+    assert load_graph(path, root=scratch) is None
+    assert refresh_graph(path, root=scratch, derive=derive_stub) is True
+
+
+def test_committed_graph_is_current():
+    """The repo's committed ``protocol-graph.json`` must carry the
+    current tree's fingerprint — CI and fresh checkouts rely on it for
+    fast compiler startup (regenerate with ``repro lint --graph
+    protocol-graph.json --no-cache``)."""
+    committed = ROOT / "protocol-graph.json"
+    assert committed.is_file(), "protocol-graph.json not committed"
+    assert load_graph(committed, root=ROOT) is not None, \
+        "committed protocol-graph.json is stale — regenerate it"

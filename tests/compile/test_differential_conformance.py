@@ -1,0 +1,131 @@
+"""Differential conformance of the *compiled* engines.
+
+``tests/core/test_differential.py`` pins MINOS-B ≡ MINOS-O agreement
+for the interpreted engines; this file runs the same conflict-free
+differential with ``engine_mode="compiled"`` — compiled MINOS-B and
+compiled MINOS-O must commit the same writes, agree across replicas,
+and advance ``glb_durableTS`` monotonically — and then goes one level
+up: :func:`repro.api.run_check` (schedule/crash exploration + WGL
+(durable-)linearizability checking) over compiled-engine histories.
+"""
+
+import pytest
+
+from repro.api import (LIN_EVENT, LIN_RENF, LIN_SCOPE, LIN_STRICT,
+                       LIN_SYNCH, MINOS_B, MINOS_O, MinosCluster, run_check)
+from repro.hw.params import MachineParams
+from repro.workloads.ycsb import Op, OpKind
+
+LIN_MODELS = [LIN_SYNCH, LIN_STRICT, LIN_RENF, LIN_EVENT, LIN_SCOPE]
+
+NODES = 3
+CLIENTS = 2
+KEYS_PER_CLIENT = 3
+WRITES_PER_CLIENT = 8
+
+
+class ConflictFreeWorkload:
+    """Each (node, client) writes only its own keys, so the final value
+    of every key is that client's last write on both architectures."""
+
+    def __init__(self, seed: int, scoped: bool) -> None:
+        self.seed = seed
+        self.scoped = scoped
+
+    def keys_of(self, node_id: int, client_idx: int):
+        return [f"n{node_id}c{client_idx}k{i}"
+                for i in range(KEYS_PER_CLIENT)]
+
+    def initial_records(self):
+        for node_id in range(NODES):
+            for client_idx in range(CLIENTS):
+                for key in self.keys_of(node_id, client_idx):
+                    yield key, "v0"
+
+    def ops_for(self, node_id: int, client_idx: int):
+        keys = self.keys_of(node_id, client_idx)
+        scope = node_id * 100 + client_idx if self.scoped else None
+        for seq in range(WRITES_PER_CLIENT):
+            key = keys[(seq + self.seed) % len(keys)]
+            yield Op(OpKind.WRITE, key=key, value=f"v{seq + 1}",
+                     scope=scope)
+            if seq % 3 == 2:
+                yield Op(OpKind.READ, key=key)
+        if self.scoped:
+            yield Op(OpKind.PERSIST, scope=scope)
+
+
+def run_once(config, model, seed):
+    cluster = MinosCluster(model=model, config=config,
+                           params=MachineParams(nodes=NODES),
+                           engine_mode="compiled")
+    assert hasattr(type(cluster.nodes[0].engine), "__compiled_dispatch__"), \
+        f"compiler fell back to interpreted for {model}/{config.name}"
+    obs = cluster.attach_obs()
+    workload = ConflictFreeWorkload(seed, scoped=(model is LIN_SCOPE))
+    cluster.run_workload(workload, clients_per_node=CLIENTS)
+    return cluster, obs
+
+
+def final_state(cluster):
+    """{key: (value, ts)} per node, from the volatile image."""
+    states = []
+    for node in cluster.nodes:
+        state = {}
+        for key in sorted(node.kv.metadata.keys()):
+            record = node.kv.volatile_read(key)
+            state[key] = (record.value, record.ts)
+        states.append(state)
+    return states
+
+
+@pytest.mark.parametrize("model", LIN_MODELS, ids=lambda m: m.name)
+@pytest.mark.parametrize("seed", [1, 2])
+class TestCompiledDifferential:
+    def test_architectures_agree_on_final_contents(self, model, seed):
+        baseline, _ = run_once(MINOS_B, model, seed)
+        offload, _ = run_once(MINOS_O, model, seed)
+        b_states = final_state(baseline)
+        o_states = final_state(offload)
+        for states, label in ((b_states, "MINOS-B"), (o_states, "MINOS-O")):
+            for node_id, state in enumerate(states):
+                assert state == states[0], \
+                    f"compiled {label} node {node_id} diverges from node 0"
+        b_values = {key: value for key, (value, _) in b_states[0].items()}
+        o_values = {key: value for key, (value, _) in o_states[0].items()}
+        assert b_values == o_values
+        expected_writes = NODES * CLIENTS * WRITES_PER_CLIENT
+        assert baseline.metrics.counters.writes_completed == expected_writes
+        assert offload.metrics.counters.writes_completed == expected_writes
+
+    def test_glb_durable_ts_is_monotone(self, model, seed):
+        for config in (MINOS_B, MINOS_O):
+            cluster, obs = run_once(config, model, seed)
+            advances = obs.instants_for(name="durable_advance")
+            if model.persist_in_critical_path:
+                assert advances, \
+                    f"{config.name}/{model.name} recorded no durability"
+            last = {}
+            for instant in advances:
+                track = (instant.node, instant.attr("key"))
+                ts = instant.attr("ts")
+                if track in last:
+                    assert ts >= last[track], \
+                        f"glb_durableTS went backwards on {track}"
+                last[track] = ts
+            for node in cluster.nodes:
+                for key in node.kv.metadata.keys():
+                    record = node.kv.volatile_read(key)
+                    assert node.kv.meta(key).glb_durable_ts <= record.ts
+
+
+@pytest.mark.parametrize("arch", ["MINOS-B", "MINOS-O"])
+def test_run_check_linearizability_on_compiled_histories(arch):
+    """WGL (durable-)linearizability over histories recorded from
+    compiled-engine runs under schedule exploration + one crash."""
+    report = run_check(model="synch", config=arch, nodes=3,
+                       ops_per_client=10, clients_per_node=1, keys=4,
+                       seeds=2, crash_points="phase", crash_trials=1,
+                       engine_mode="compiled")
+    assert report.ok, report.counterexample
+    assert len(report.runs) >= 2
