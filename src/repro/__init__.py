@@ -68,7 +68,13 @@ _EXPORTS = {
     "run_microservice": "repro.bench.harness",
     "FaultPlan": "repro.faults",
     "CrashWindow": "repro.faults",
+    "DisasterSpec": "repro.faults",
+    "cascading_crashes": "repro.faults",
+    "flapping_partition": "repro.faults",
     "run_chaos": "repro.faults",
+    "CheckpointConfig": "repro.ckpt",
+    "CheckpointLine": "repro.ckpt",
+    "CheckpointManager": "repro.ckpt",
     "ModelChecker": "repro.verify",
     "ProtocolSpec": "repro.verify",
     "WriteDef": "repro.verify",
@@ -85,6 +91,8 @@ _EXPORTS = {
     "DurabilityReport": "repro.check",
     "check_linearizability": "repro.check",
     "check_durability": "repro.check",
+    "check_rollback": "repro.check",
+    "restore_line": "repro.check",
     "shrink_history": "repro.check",
     "ShardedCheckReport": "repro.check",
     "check_sharded_history": "repro.check",

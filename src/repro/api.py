@@ -19,8 +19,18 @@ The surface, by theme:
   returning :class:`OpResult`.
 * **Faults** — :class:`FaultPlan`, :class:`CrashWindow` and
   :func:`run_chaos` for seeded loss/duplication/delay plus
-  crash/restart runs with invariant checking, and
-  :class:`RecoveryManager` for heartbeat-driven failure recovery.
+  crash/restart runs with invariant checking,
+  :class:`RecoveryManager` for heartbeat-driven failure recovery, the
+  plan builders :func:`cascading_crashes` / :func:`flapping_partition`,
+  and :class:`DisasterSpec` for mid-run multi-node crashes rolled back
+  through :meth:`RecoveryManager.restore_cluster`.
+* **Checkpointing** — :class:`CheckpointConfig` (enable via
+  :meth:`MinosCluster.enable_checkpoints`), the
+  :class:`CheckpointManager` it installs (coordinated CKPT/CKPT_ACK
+  barrier rounds + communication-induced log truncation), and the
+  :class:`CheckpointLine` records of completed rounds; rollback
+  legality is checked by :func:`check_rollback` /
+  :func:`restore_line` (see docs/checkpointing.md).
 * **Verification** — :class:`ModelChecker` over a :class:`ProtocolSpec`
   of concurrent :class:`WriteDef` s (the Table I invariants).
 * **Correctness checking** — :func:`run_check` (schedule/crash
@@ -75,8 +85,10 @@ from repro.check import (CheckReport, CheckWorkload, DurabilityReport,
                          History, HistoryOp, HistoryRecorder,
                          LinearizabilityReport, RecordingClient,
                          ShardedCheckReport, check_durability,
-                         check_linearizability, check_sharded_history,
-                         run_check, shrink_history)
+                         check_linearizability, check_rollback,
+                         check_sharded_history, restore_line, run_check,
+                         shrink_history)
+from repro.ckpt import CheckpointConfig, CheckpointLine, CheckpointManager
 from repro.cluster.cluster import MinosCluster
 from repro.cluster.results import OpResult
 from repro.compile import CompiledDispatch, compile_protocol
@@ -87,7 +99,8 @@ from repro.core.model import (ALL_MODELS, EC_EVENT, EC_SYNCH, LIN_EVENT,
                               DDPModel, model_by_name)
 from repro.core.recovery import RecoveryManager
 from repro.core.timestamp import Timestamp
-from repro.faults import CrashWindow, FaultPlan, run_chaos
+from repro.faults import (CrashWindow, DisasterSpec, FaultPlan,
+                          cascading_crashes, flapping_partition, run_chaos)
 from repro.hw.params import DEFAULT_MACHINE, MachineParams, us
 from repro.metrics.stats import Metrics
 from repro.obs import (LogHistogram, MetricsRegistry, Observability,
@@ -133,8 +146,15 @@ __all__ = [
     # faults + recovery
     "FaultPlan",
     "CrashWindow",
+    "DisasterSpec",
+    "cascading_crashes",
+    "flapping_partition",
     "run_chaos",
     "RecoveryManager",
+    # checkpointing
+    "CheckpointConfig",
+    "CheckpointLine",
+    "CheckpointManager",
     # verification
     "ModelChecker",
     "ProtocolSpec",
@@ -151,6 +171,8 @@ __all__ = [
     "DurabilityReport",
     "check_linearizability",
     "check_durability",
+    "check_rollback",
+    "restore_line",
     "shrink_history",
     # sharding
     "ShardRouter",

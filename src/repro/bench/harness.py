@@ -44,6 +44,10 @@ class ExperimentConfig:
     #: ``"interpreted"`` (reference engines).  Calendar-identical either
     #: way; only wall-clock differs.
     engine_mode: str = "compiled"
+    #: Coordinated checkpointing / CIC truncation for the run (a
+    #: :class:`repro.ckpt.CheckpointConfig`); ``None`` keeps the hook
+    #: inert and the calendar byte-identical.
+    checkpoints: Optional[object] = None
 
     def label(self) -> str:
         return (f"{self.config.name}/{self.model}/n{self.nodes}"
@@ -86,6 +90,8 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     machine = config.machine.with_nodes(config.nodes)
     cluster = MinosCluster(model=config.model, config=config.config,
                            params=machine, engine_mode=config.engine_mode)
+    if config.checkpoints is not None:
+        cluster.enable_checkpoints(config.checkpoints)
     workload = YcsbWorkload(records=config.records,
                             requests_per_client=config.requests_per_client,
                             write_fraction=config.write_fraction,

@@ -287,6 +287,39 @@ def bench_micro_follower_inv(engine_mode: str = "compiled",
                               "messages": float(messages)})
 
 
+def bench_macro_ckpt(repeats: int = 3, watermark: int = 20) -> BenchResult:
+    """Checkpoint overhead on the default YCSB macro.
+
+    Runs the macro twice — checkpointing off, then CIC truncation at
+    *watermark* live-log entries — and reports the ckpt-on rate with
+    the off-run rate and their ratio in ``extra``.  The within-run
+    ``overhead_ratio`` (on/off events-per-sec, both measured on the
+    same machine in the same process) is the CI gate: checkpointing
+    must keep >= 0.9x of the plain macro's throughput.
+    """
+    from repro.ckpt import CheckpointConfig
+
+    off = bench_macro_ycsb(repeats=repeats)
+    on_config = ExperimentConfig(
+        checkpoints=CheckpointConfig(watermark=watermark))
+
+    def run_once() -> Tuple[float, int]:
+        start = time.perf_counter()
+        result = run_experiment(on_config)
+        return time.perf_counter() - start, result.events_processed
+
+    run_experiment(on_config)
+    wall, events = _best_of(repeats, run_once)
+    rate = events / wall
+    off_rate = off.events_per_sec
+    return BenchResult(name="macro_ycsb_ckpt", wall_s=wall, events=events,
+                       events_per_sec=rate, repeats=repeats,
+                       extra={"label": on_config.label(),
+                              "watermark": watermark,
+                              "ckpt_off_events_per_sec": off_rate,
+                              "overhead_ratio": rate / off_rate})
+
+
 def run_compare_modes(repeats: int = 5) -> Dict[str, object]:
     """``repro bench --compare-modes``: compiled vs interpreted engines
     on the default YCSB macro and the follower-INV dispatch micro.
@@ -337,15 +370,17 @@ _BENCHMARKS: Dict[str, Callable[..., BenchResult]] = {
     "micro_messages": bench_micro_messages,
     "macro_ycsb": bench_macro_ycsb,
     "macro_sharded": bench_macro_sharded,
+    "macro_ycsb_ckpt": bench_macro_ckpt,
 }
 
 #: Selection groups accepted by ``repro bench --only``.
 GROUPS = {
     "all": ("micro_events", "micro_messages", "macro_ycsb",
-            "macro_sharded"),
+            "macro_sharded", "macro_ycsb_ckpt"),
     "micro": ("micro_events", "micro_messages"),
-    "macro": ("macro_ycsb", "macro_sharded"),
+    "macro": ("macro_ycsb", "macro_sharded", "macro_ycsb_ckpt"),
     "sharded": ("macro_sharded",),
+    "ckpt": ("macro_ycsb_ckpt",),
 }
 
 

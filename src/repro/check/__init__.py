@@ -14,8 +14,10 @@ the command line) and the building blocks
 """
 
 from repro.check.durable import (DurabilityReport, DurabilityViolation,
-                                 check_durability, durability_floors,
-                                 post_recovery_read_violations)
+                                 check_durability, check_rollback,
+                                 durability_floors,
+                                 post_recovery_read_violations,
+                                 restore_line)
 from repro.check.history import (History, HistoryOp, HistoryRecorder,
                                  RecordingClient)
 from repro.check.runner import (CheckReport, Counterexample, RunOutcome,
@@ -46,6 +48,7 @@ __all__ = [
     "ShardedCheckReport",
     "check_durability",
     "check_key_history",
+    "check_rollback",
     "check_linearizability",
     "check_scope_closure",
     "check_sharded_durability",
@@ -54,6 +57,7 @@ __all__ = [
     "durability_floors",
     "keys_spanning_shards",
     "post_recovery_read_violations",
+    "restore_line",
     "run_check",
     "shard_slices",
     "shrink_history",

@@ -180,6 +180,82 @@ def check_durability(model: DDPModel, history: History, crash_time: float,
     return report
 
 
+def restore_line(snapshots: Dict[int, Dict[Any, Tuple[Any, Any]]]
+                 ) -> Dict[Any, Tuple[Any, Any]]:
+    """Fold per-node surviving snapshots into the cluster restore line:
+    per-key newest surviving version across every node's NVM.  Mirrors
+    the fold :meth:`repro.core.recovery.RecoveryManager.restore_cluster`
+    performs, so checking the fold checks the state rollback recovery
+    actually restores."""
+    line: Dict[Any, Tuple[Any, Any]] = {}
+    for node_snapshot in snapshots.values():
+        for key, (ts, value) in node_snapshot.items():
+            current = line.get(key)
+            if current is None or current[0] < ts:
+                line[key] = (ts, value)
+    return line
+
+
+def check_rollback(model: DDPModel, history: History, crash_time: float,
+                   snapshots: Dict[int, Dict[Any, Tuple[Any, Any]]],
+                   initial: Optional[Dict[Any, Any]] = None
+                   ) -> DurabilityReport:
+    """Checkpoint-aware rollback legality: which acked writes may a
+    rollback to the restore line legally lose under *model*?
+
+    *snapshots* is ``{node_id: {key: (ts, value)}}`` — every node's
+    surviving durable state (checkpoint image + live log tail) at the
+    crash instant, covering multi-node and whole-cluster crashes where
+    no single victim's log tells the story.  Two rule families:
+
+    ``rollback-floor``
+        The model's durability floor (the same per-model table as
+        :func:`durability_floors` — Synch/Strict: any acked write;
+        REnf: any read-returned version; Scope: scope closure at each
+        completed ``[PERSIST]sc``; Event: none) must survive *somewhere*:
+        the per-key fold across all nodes must reach the floor, else the
+        rollback loses a write the model promised durable.
+    ``rollback-validity``
+        Prefix survival, per node: every surviving ``(ts, value)`` pair
+        on every node must be a version some client actually wrote (or
+        the initial image) — a checkpoint image may only ever *truncate*
+        history, never invent or corrupt it.
+    """
+    initial = initial or {}
+    report = DurabilityReport(model=model.name, crash_time=crash_time)
+    line = restore_line(snapshots)
+    floors = durability_floors(model, history, crash_time)
+    report.floors = {key: ts for key, (ts, _) in floors.items()}
+    for key, (floor_ts, evidence) in floors.items():
+        survived = line.get(key)
+        if survived is None or survived[0] < floor_ts:
+            have = "nothing" if survived is None else f"ts={survived[0]}"
+            report.violations.append(DurabilityViolation(
+                rule="rollback-floor", key=key, evidence=evidence,
+                detail=f"{model.name} forbids rolling back past "
+                       f"ts={floor_ts} (crash t={crash_time:.6g}) but the "
+                       f"cluster-wide restore line retained {have}"))
+    versions = written_versions(history)
+    values = written_values(history)
+    for node_id in sorted(snapshots):
+        for key, (ts, value) in snapshots[node_id].items():
+            known = versions.get(key, {})
+            if ts in known:
+                if known[ts] != value:
+                    report.violations.append(DurabilityViolation(
+                        rule="rollback-validity", key=key,
+                        detail=f"node {node_id} survived ts={ts} holding "
+                               f"{value!r} but the client wrote "
+                               f"{known[ts]!r}"))
+            elif (value not in values.get(key, set())
+                    and value != initial.get(key)):
+                report.violations.append(DurabilityViolation(
+                    rule="rollback-validity", key=key,
+                    detail=f"node {node_id} survived value {value!r} "
+                           f"(ts={ts}) that no client ever wrote"))
+    return report
+
+
 def post_recovery_read_violations(model: DDPModel, history: History,
                                   crash_time: float, reads,
                                   initial: Optional[Dict[Any, Any]] = None

@@ -33,9 +33,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.check.durable import (check_durability,
-                                 post_recovery_read_violations)
-from repro.check.history import HistoryRecorder, RecordingClient
+from repro.check.durable import (check_durability, check_rollback,
+                                 post_recovery_read_violations,
+                                 restore_line)
+from repro.check.history import (History, HistoryOp, HistoryRecorder,
+                                 RecordingClient)
 from repro.check.shrink import shrink_history
 from repro.check.wgl import check_linearizability
 from repro.check.workload import CheckWorkload
@@ -170,7 +172,8 @@ def _one_run(model, config, nodes: int, workload: CheckWorkload,
              plan_seed: int, crash_at: Optional[float], label: str,
              clients_per_node: int, delay: float, reorder: float,
              recover_after: float, max_time: float, settle: float,
-             setup=None, engine_mode: str = "compiled") -> _RunData:
+             setup=None, engine_mode: str = "compiled",
+             victims: int = 1, checkpoints=None) -> _RunData:
     from repro.cluster.cluster import MinosCluster
     from repro.core.recovery import RecoveryManager
     from repro.faults import FaultPlan, LinkFaults
@@ -182,6 +185,8 @@ def _one_run(model, config, nodes: int, workload: CheckWorkload,
     obs = cluster.attach_obs()
     if setup is not None:
         setup(cluster)
+    if checkpoints is not None:
+        cluster.enable_checkpoints(checkpoints)
     manager = RecoveryManager(cluster, heartbeat_interval=us(20),
                               timeout=us(100))
     plan = FaultPlan(seed=plan_seed,
@@ -201,25 +206,43 @@ def _one_run(model, config, nodes: int, workload: CheckWorkload,
     drivers = [sim.spawn(client.run(), name=f"check.client.{i}")
                for i, client in enumerate(clients)]
 
+    # Disaster mode (victims > 1): crash the last *victims* nodes at
+    # once — up to the whole cluster — and restore through rollback
+    # recovery rather than the single-node rejoin exchange.
+    victim_ids = list(range(nodes - victims, nodes))
+    disaster = victims > 1
+
     snapshot: Dict[Any, Tuple[Any, Any]] = {}
+    snapshots: Dict[int, Dict[Any, Tuple[Any, Any]]] = {}
     crash_time: List[float] = []
     restore_time: List[float] = []
+    restore_done: List[float] = []
 
     def crash_driver():
         yield sim.timeout(crash_at - sim.now)
-        # Snapshot the victim's surviving durable state at the crash
-        # instant — what its NVM actually holds is exactly what the
-        # durability floor is a claim about.
+        # Snapshot every node's surviving durable state (checkpoint
+        # image + live log tail) at the crash instant — what the NVM
+        # actually holds is exactly what the durability floor and the
+        # rollback rules are claims about.
+        for node in cluster.nodes:
+            snapshots[node.node_id] = {
+                key: (entry.ts, entry.value)
+                for key, entry in node.kv.log.durable_snapshot().items()}
         log = cluster.nodes[victim].kv.log
         for key in workload.key_names:
             ts = log.durable_ts(key)
             if ts is not None:
                 snapshot[key] = (ts, log.durable_value(key))
         crash_time.append(sim.now)
-        manager.crash(victim)
+        for vid in victim_ids:
+            manager.crash(vid)
         yield sim.timeout(recover_after)
         restore_time.append(sim.now)
-        manager.recover(victim)
+        if disaster:
+            yield from manager.restore_cluster(victim_ids)
+            restore_done.append(sim.now)
+        else:
+            manager.recover(victim)
 
     if crash_at is not None:
         sim.spawn(crash_driver(), name=f"check.crash.n{victim}")
@@ -230,6 +253,12 @@ def _one_run(model, config, nodes: int, workload: CheckWorkload,
     while (not all(d.triggered for d in drivers)) and sim.now < max_time:
         sim.run(until=min(max_time, sim.now + slice_s))
     completed = all(d.triggered for d in drivers)
+    if not completed and disaster and crash_time:
+        # Crashed client hosts legally lose their in-flight drivers —
+        # a disaster run's verdict is about the restored state, not
+        # workload completion (the dead ops stay pending in the
+        # history, where the linearizability check handles them).
+        completed = True
     finish = sim.now
     # Settle past the restore so rejoin catch-up and retransmit
     # give-ups drain before the probes run.
@@ -254,7 +283,26 @@ def _one_run(model, config, nodes: int, workload: CheckWorkload,
             probes.append(rec)
 
     history = recorder.history()
-    lin = check_linearizability(history)
+    # Checkpoint-aware durable linearizability for disaster runs:
+    # rollback recovery legally rewinds every key to the restore line
+    # (under Event/Scope even *acked* writes may be lost), which a
+    # classic register linearization cannot express — a post-restore
+    # read of the rewound value has no witness in the raw history.
+    # Model the rewind itself as one synthetic write per key spanning
+    # [crash, restore-complete]; whether that rewind line was *legal*
+    # is exactly what check_rollback's floor rules judge below, so the
+    # linearizability check is left to judge the history GIVEN it.
+    lin_history = history
+    if disaster and crash_time and restore_done:
+        line = restore_line(snapshots)
+        resets = [
+            HistoryOp(op_id=-(idx + 1), client="rollback", kind="write",
+                      key=key,
+                      value=line[key][1] if key in line else None,
+                      invoked=crash_time[0], responded=restore_done[0])
+            for idx, key in enumerate(workload.key_names)]
+        lin_history = History(list(history.ops) + resets)
+    lin = check_linearizability(lin_history)
 
     violations: List[str] = []
     fail_kind = None
@@ -267,7 +315,10 @@ def _one_run(model, config, nodes: int, workload: CheckWorkload,
         violations.append(fail_detail)
     durability_ok = True
     if crash_time:
-        dur = check_durability(model, history, crash_time[0], snapshot)
+        if disaster:
+            dur = check_rollback(model, history, crash_time[0], snapshots)
+        else:
+            dur = check_durability(model, history, crash_time[0], snapshot)
         post = post_recovery_read_violations(model, history,
                                              crash_time[0], probes)
         for violation in list(dur.violations) + post:
@@ -295,7 +346,7 @@ def _one_run(model, config, nodes: int, workload: CheckWorkload,
         completed=completed, linearizable=lin.ok,
         durability_ok=durability_ok, states=lin.states,
         duration=sim.now, violations=violations)
-    return _RunData(outcome=outcome, history=history, obs=obs,
+    return _RunData(outcome=outcome, history=lin_history, obs=obs,
                     lin_report=lin, first_failing_key=fail_key,
                     fail_kind=fail_kind, fail_detail=fail_detail,
                     fail_evidence=fail_evidence, finish_time=finish)
@@ -366,12 +417,23 @@ def run_check(model="synch", config="MINOS-B", nodes: int = 3,
               recover_after: float = us(300), settle: float = us(3_000),
               max_time: float = us(300_000),
               export: Optional[str] = None, setup=None,
-              engine_mode: str = "compiled") -> CheckReport:
+              engine_mode: str = "compiled", victims: int = 1,
+              checkpoints=None) -> CheckReport:
     """Explore schedules and crash points; check every history.
 
     *setup* (when given) is called with each freshly built cluster
     before the run starts — the hook the mutation tests use to plant
     bugs, and a handy place to attach extra instrumentation.
+
+    *victims* > 1 switches each crash run into **disaster mode**: the
+    last *victims* nodes (up to the whole cluster) crash at once, the
+    run restores via
+    :meth:`~repro.core.recovery.RecoveryManager.restore_cluster`
+    rollback recovery, and the surviving state is judged by the
+    checkpoint-aware :func:`~repro.check.durable.check_rollback` rules
+    instead of the single-victim durability floor.  *checkpoints* (a
+    :class:`~repro.ckpt.CheckpointConfig`) enables coordinated
+    checkpointing / CIC truncation inside every explored run.
 
     Returns a :class:`CheckReport`; ``report.ok`` is the verdict and
     ``report.counterexample`` holds the shrunk failing schedule (plus
@@ -381,6 +443,9 @@ def run_check(model="synch", config="MINOS-B", nodes: int = 3,
     if nodes < 2:
         raise ConfigError("run_check needs >= 2 nodes (one is reserved "
                           "as the crash victim)")
+    if not 1 <= victims <= nodes:
+        raise ConfigError(f"victims must be in 1..{nodes} (the node "
+                          f"count), not {victims}")
     if crash_points not in CRASH_POINT_MODES:
         raise ConfigError(f"crash_points must be one of "
                           f"{CRASH_POINT_MODES}, not {crash_points!r}")
@@ -402,7 +467,8 @@ def run_check(model="synch", config="MINOS-B", nodes: int = 3,
                       clients_per_node=clients_per_node, delay=delay,
                       reorder=reorder, recover_after=recover_after,
                       max_time=max_time, settle=settle, setup=setup,
-                      engine_mode=engine_mode)
+                      engine_mode=engine_mode, victims=victims,
+                      checkpoints=checkpoints)
         baseline = _one_run(crash_at=None, label=f"seed{seed}", **common)
         record(baseline)
         if crash_points == "none":

@@ -1,0 +1,17 @@
+"""Coordinated checkpointing and log truncation (`repro.ckpt`).
+
+Implements the checkpoint/rollback layer on top of the MINOS protocol
+fabric: coordinator-initiated barrier rounds over CKPT/CKPT_ACK
+messages, persistency-model-aware quiescence before each fence
+(arXiv 2208.02411: which checkpoints are legal depends on the active
+persistency model), and communication-induced checkpoints (CIC)
+triggered by per-node log-size watermarks — together giving incremental
+`NvmLog` truncation during normal operation and a consistent
+restore line for multi-node and whole-cluster crashes
+(see docs/checkpointing.md).
+"""
+
+from repro.ckpt.manager import (CheckpointConfig, CheckpointLine,
+                                CheckpointManager)
+
+__all__ = ["CheckpointConfig", "CheckpointLine", "CheckpointManager"]

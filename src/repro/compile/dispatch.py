@@ -47,6 +47,8 @@ _ENTRY_CANDIDATES = {
         "PERSIST": ("_follower_persist",),
         "VAL": ("_follower_val",), "VAL_C": ("_follower_val",),
         "VAL_P": ("_follower_val",),
+        "CKPT": ("_follower_ckpt",),
+        "CKPT_ACK": ("_handle_ckpt_ack",),
     },
     "offload": {
         "ACK": ("_snic_on_ack",), "ACK_C": ("_snic_on_ack",),
@@ -55,6 +57,8 @@ _ENTRY_CANDIDATES = {
         "PERSIST": ("_snic_follower_persist",),
         "VAL": ("_snic_follower_val",), "VAL_C": ("_snic_follower_val",),
         "VAL_P": ("_snic_follower_val",),
+        "CKPT": ("_snic_follower_ckpt",),
+        "CKPT_ACK": ("_snic_handle_ckpt_ack",),
     },
 }
 

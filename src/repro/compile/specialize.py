@@ -429,7 +429,7 @@ def _load(source: str) -> ast.expr:
 # Dispatch-method generation (graph table → flat type dispatch)
 # ======================================================================
 
-_ARM_ORDER = ("INV", "ACK", "VAL", "PERSIST")
+_ARM_ORDER = ("INV", "ACK", "VAL", "PERSIST", "CKPT", "CKPT_ACK")
 _FAMILIES = {
     "ACK": ("ACK", "ACK_C", "ACK_P"),
     "VAL": ("VAL", "VAL_C", "VAL_P"),
@@ -478,7 +478,10 @@ def dispatch_method_source(dispatch: CompiledDispatch) -> str:
                 f"{family} family maps to several handlers: {handlers}")
         handler = handlers.pop()
         test = " or ".join(f"t is MsgType.{m}" for m in members)
-        if family in ("INV", "PERSIST"):
+        if family in ("INV", "PERSIST", "CKPT"):
+            # CKPT shares INV/PERSIST's dedup wrapping: a retransmitted
+            # barrier request must re-send the recorded CKPT_ACK, not
+            # re-fence the log (the interpreted engines do the same).
             dup = ("yield from self._answer_duplicate(msg, replies)"
                    if not offload else
                    "self._snic_answer_duplicate(msg, replies)")

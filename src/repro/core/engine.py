@@ -186,7 +186,8 @@ class EngineBase:
                  "peers", "metrics", "scope_tracker", "_txns",
                  "_last_version", "crashed", "tracer", "obs",
                  "robustness", "_seq_counter", "_inv_replies",
-                 "_inv_reply_order")
+                 "_inv_reply_order", "ckpt", "_bg_persists",
+                 "_bg_drained", "incarnation")
 
     def __init__(self, sim: Simulator, node_id: int, params: MachineParams,
                  model: DDPModel, host: Host, kv: MinosKV,
@@ -204,6 +205,11 @@ class EngineBase:
         self._last_version: Dict[Any, int] = {}
         #: Set true by failure injection: a crashed node ignores traffic.
         self.crashed = False
+        #: Bumped by every crash: helper processes minted before the
+        #: crash (retransmit timers, in-flight coordinator rounds) check
+        #: it after waking and die instead of resuming against the
+        #: restarted incarnation's wiped protocol state.
+        self.incarnation = 0
         #: Optional repro.trace.Tracer; attach via MinosCluster.attach_tracer.
         self.tracer = None
         #: Optional repro.obs.Observability; attach via
@@ -216,6 +222,20 @@ class EngineBase:
         #: retransmit timers, no dedup bookkeeping, so the fault-free
         #: event calendar is untouched.
         self.robustness = None
+        #: Optional repro.ckpt.CheckpointManager — set by
+        #: ``MinosCluster.enable_checkpoints``.  ``None`` (the default)
+        #: keeps every checkpoint hook at one attribute check, so the
+        #: checkpointing-off event calendar is byte-identical to seed.
+        self.ckpt = None
+        #: In-flight background persist generators (Event/Scope/REnf
+        #: epilogues and the EC durability queues).  Pure Python counter
+        #: bookkeeping — it never touches the simulator calendar — used
+        #: by the checkpoint quiescence to know when the node's durable
+        #: state has stopped moving.
+        self._bg_persists = 0
+        #: Lazily created Event fired when ``_bg_persists`` drains to
+        #: zero; ``None`` while nobody is waiting.
+        self._bg_drained = None
         self._seq_counter = itertools.count(1)
         #: Follower-side INV dedup: (src, seq) -> ACK replies already sent
         #: for that INV, so a duplicate delivery re-sends the recorded
@@ -317,9 +337,16 @@ class EngineBase:
         policy = self.robustness
         done = self._retransmit_done_event(txn)
         delay = policy.base_timeout
+        born = self.incarnation
         for _attempt in range(policy.max_retries):
             yield self.sim.any_of([done, self.sim.timeout(delay)])
             if done.triggered:
+                return
+            if self.crashed or self.incarnation != born:
+                # The node died under this timer: the restarted
+                # incarnation no longer knows the transaction, so
+                # re-sending its INV would strand followers waiting on
+                # a VAL nobody can produce.
                 return
             targets = sorted(self._retransmit_targets(txn))
             if not targets:
@@ -343,6 +370,53 @@ class EngineBase:
         if self.robustness is not None:
             self.sim.spawn(self._retransmit_loop(txn, msg, resend),
                            name=f"n{self.node_id}.rtx.w{txn.write_id}")
+
+    # -- checkpoint quiescence (repro.ckpt; no-op without a manager) ---------
+
+    def spawn_bg(self, gen, name: str) -> None:
+        """Spawn a background durability generator, tracked for
+        checkpoint quiescence.  The wrapper adds no simulator events —
+        the counter is plain Python state — so runs without a
+        CheckpointManager keep a byte-identical event calendar."""
+        self.sim.spawn(self._bg_wrap(gen), name=name)
+
+    def _bg_wrap(self, gen):
+        self._bg_persists += 1
+        try:
+            yield from gen
+        finally:
+            self._bg_persists -= 1
+            if self._bg_persists == 0 and self._bg_drained is not None:
+                event, self._bg_drained = self._bg_drained, None
+                if not event.triggered:
+                    event.succeed()
+
+    def wait_background_drained(self):
+        """Wait until every tracked background persist has finished."""
+        while self._bg_persists > 0:
+            if self._bg_drained is None:
+                self._bg_drained = Event(self.sim)
+            yield self._bg_drained
+
+    def ckpt_quiesce(self):
+        """Persistency-model-aware quiescence before fencing a
+        checkpoint (arXiv 2208.02411: which checkpoints are legal
+        depends on the active persistency model).
+
+        * Synch / Strict — persistence is on the critical path of every
+          acked write, so the node may fence at any instant.
+        * REnf / Event — drain the in-flight background persists so the
+          fenced image reflects every locally started epilogue.
+        * Scope — additionally close every open scope (the
+          ``[PERSIST]sc`` closure logic) so no scope's validity
+          dependencies straddle the fence.
+        """
+        if self.model.persist_in_critical_path:
+            return
+        yield from self.wait_background_drained()
+        if self.model.uses_scopes:
+            yield from self.scope_tracker.drain_open_scopes()
+            yield from self.wait_background_drained()
 
     # -- timestamps -----------------------------------------------------------
 

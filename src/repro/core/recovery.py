@@ -254,6 +254,134 @@ class RecoveryManager:
         else:
             yield gate
 
+    # -- rollback recovery (multi-node / whole-cluster crashes) ----------------
+
+    def restore_cluster(self, node_ids=None):
+        """Rollback recovery for multi-node and *whole-cluster* crashes
+        (process helper — run it on the simulator).
+
+        Unlike the single-node rejoin path, this works with ZERO alive
+        nodes: :meth:`designated_node` is unusable there, but the NVM
+        logs survive the crash, so the restore line is derived directly
+        from every node's surviving state — the latest checkpoint image
+        plus the live log tail (:meth:`repro.kv.log.NvmLog.durable_snapshot`),
+        folded per key across all nodes.  Every crashed node is rolled
+        back to that line: its volatile image and protocol metadata are
+        rebuilt from scratch, missing durable versions are replayed into
+        its log, and ``glb_volatileTS`` / ``glb_durableTS`` are
+        re-derived (equal to the line, so post-restore state is mutually
+        consistent).  Surviving nodes keep their state — they lost
+        nothing — and only re-include the restored peers.
+        """
+        crashed = (sorted(node_ids) if node_ids is not None else
+                   [n.node_id for n in self.cluster.nodes
+                    if n.engine.crashed])
+        # The global restore line: per-key newest surviving durable entry
+        # across every node's NVM (checkpoint image + log tail).
+        line: Dict[Any, LogEntry] = {}
+        for node in self.cluster.nodes:
+            for key, entry in node.engine.kv.log.durable_snapshot().items():
+                current = line.get(key)
+                if current is None or current.ts < entry.ts:
+                    line[key] = entry
+        crashed_set = set(crashed)
+        for node_id in crashed:
+            self.cluster.restore(node_id)
+        # Every node converges on the line — crashed nodes are rebuilt
+        # from scratch, survivors topped up (a survivor may lack a
+        # version that only the crashed nodes' NVM held, and its glb
+        # knowledge lags the line; same monotonic application as the
+        # rejoin catch-up).  Afterwards the line is durable everywhere,
+        # so re-deriving glb_durableTS = line is truthful cluster-wide.
+        for node in self.cluster.nodes:
+            yield from self._restore_node(node.node_id, line,
+                                          rebuild=node.node_id in
+                                          crashed_set)
+        # Reset suspicion symmetrically: everyone trusts everyone again.
+        for node in self.cluster.nodes:
+            observer = node.node_id
+            self.suspected[observer].clear()
+            for peer in range(len(self.cluster.nodes)):
+                if peer != observer:
+                    self.last_seen[observer][peer] = self.sim.now
+                    node.engine.include_node(peer)
+        # Writes in flight on the survivors can commit after the line
+        # was folded and never reach the restored nodes (the fan-out
+        # skipped them while they were excluded).  When survivors exist,
+        # converge exactly like the single-node rejoin: catch-up rounds
+        # until one brings nothing new.  (A whole-cluster restore has no
+        # survivors and nothing in flight — the fold is the state.)
+        if len(crashed_set) < len(self.cluster.nodes):
+            for _ in range(self.MAX_CATCHUP_ROUNDS):
+                yield self.sim.timeout(self.timeout)
+                changed = False
+                for node_id in crashed:
+                    yield from self._catchup_round(node_id)
+                    changed |= self._round_changed.get(node_id, False)
+                if not changed:
+                    break
+        self.rejoins += len(crashed)
+        return crashed
+
+    def _restore_node(self, node_id: int, line: Dict[Any, LogEntry],
+                      rebuild: bool):
+        """Converge one node on the restore *line*.  With *rebuild* (a
+        crashed node) the lost volatile image is wiped and rebuilt from
+        scratch; a survivor is merely topped up.  Either way, versions
+        this node's own log never saw are ingested and its glb
+        timestamps advance to the line."""
+        engine = self._engine(node_id)
+        kv = engine.kv
+        own = kv.log.durable_snapshot()
+        missing = [entry for key, entry in sorted(line.items(),
+                                                  key=lambda kv_: str(kv_[0]))
+                   if key not in own or own[key].ts < entry.ts]
+        if rebuild:
+            # Volatile state did not survive; in-flight protocol
+            # bookkeeping (transactions, scope tracking, FIFO residue)
+            # died with it.
+            kv.reset_volatile()
+            engine._txns.clear()
+            engine._last_version.clear()
+            engine.scope_tracker.reset()
+            pending = getattr(engine, "_pending_entries", None)
+            if pending is not None:
+                pending.clear()
+            seen = getattr(engine, "_coord_seen", None)
+            if seen is not None:
+                seen.clear()
+        # Fabric residue (ACKs/VALs of writes whose coordinator state
+        # just died with the volatile image) is expected after a
+        # rollback, crash windows or not — tolerate it.
+        engine.tolerate_stale_acks = True
+        record_size = self.cluster.params.record_size
+        if missing:
+            yield engine.host.nvm.persist(len(missing) * record_size)
+            kv.log.ingest(iter(missing))
+        if rebuild and line:
+            yield engine.host.llc.access(len(line) * record_size)
+        for key, entry in sorted(line.items(), key=lambda kv_: str(kv_[0])):
+            kv.volatile_write(key, entry.value, entry.ts)
+            meta = kv.meta(key)
+            meta.set_glb_volatile(entry.ts)
+            meta.set_glb_durable(entry.ts)
+        # Release RDLocks orphaned by the crash (survivor-side twin of
+        # the repair in _apply_join_data): a lock snatched by a dead
+        # coordinator's INV whose version the restore line already
+        # validated would block reads forever — the VAL that should
+        # release it died with the coordinator.
+        for key in kv.metadata.keys():
+            meta = kv.meta(key)
+            if (not meta.rdlock_free
+                    and meta.rdlock_owner <= meta.glb_volatile_ts):
+                meta.release_rdlock(meta.rdlock_owner)
+        engine.trace("recovery", "rollback restore", rebuild=rebuild,
+                     keys=len(line), ingested=len(missing))
+        if engine.obs is not None:
+            engine.obs.instant(node_id, "rollback_restore",
+                               rebuild=rebuild, keys=len(line),
+                               ingested=len(missing))
+
     # -- catch-up exchange ---------------------------------------------------------
 
     def _on_join_request(self, node_id: int, request: JoinRequest) -> None:
@@ -304,7 +432,12 @@ class RecoveryManager:
             kv.volatile_write(entry.key, entry.value, entry.ts)
             meta = kv.meta(entry.key)
             meta.set_glb_volatile(entry.ts)
-            meta.set_glb_durable(entry.ts)
+            # glb_durableTS deliberately NOT advanced per entry: a
+            # logged entry is globally durable under Synch/Strict, but
+            # under Scope/Event durability trails the log ([PERSIST]sc
+            # / background flush), so assuming entry.ts here runs the
+            # joiner ahead of every peer.  The sender's glb map below
+            # carries the model-correct value.
         # Adopt the designated node's glb knowledge, clamped so a glb
         # timestamp never runs ahead of what this node itself holds —
         # covers versions we applied+logged before crashing but whose

@@ -18,20 +18,25 @@ robustness mode.  With no plan installed none of this code runs: the
 fault-free event calendar is bit-identical to a build without faults.
 """
 
-from repro.faults.chaos import ChaosResult, run_chaos
+from repro.faults.chaos import ChaosResult, DisasterSpec, run_chaos
 from repro.faults.injector import FaultCounters, FaultInjector
 from repro.faults.plan import (CrashWindow, FaultPlan, LinkFaults,
-                               Partition, RetransmitPolicy, crash_schedule)
+                               Partition, RetransmitPolicy,
+                               cascading_crashes, crash_schedule,
+                               flapping_partition)
 
 __all__ = [
     "ChaosResult",
     "CrashWindow",
+    "DisasterSpec",
     "FaultCounters",
     "FaultInjector",
     "FaultPlan",
     "LinkFaults",
     "Partition",
     "RetransmitPolicy",
+    "cascading_crashes",
     "crash_schedule",
+    "flapping_partition",
     "run_chaos",
 ]

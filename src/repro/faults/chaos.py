@@ -21,6 +21,29 @@ from repro.errors import ConfigError, VerificationError
 from repro.hw.params import us
 
 
+@dataclass(frozen=True)
+class DisasterSpec:
+    """A mid-run catastrophe for :func:`run_chaos`.
+
+    At ``at`` the last *victims* nodes (highest node ids) crash
+    simultaneously; after ``down_for`` the whole set is rolled back to
+    the latest consistent state via
+    :meth:`~repro.core.recovery.RecoveryManager.restore_cluster` —
+    restore-from-checkpoint *under load*, since the surviving clients
+    keep issuing operations throughout.
+    """
+
+    at: float
+    victims: int = 2
+    down_for: float = us(500)
+
+    def __post_init__(self) -> None:
+        if self.at < 0 or self.down_for <= 0:
+            raise ConfigError("disaster times must be positive")
+        if self.victims < 1:
+            raise ConfigError("a disaster needs at least one victim")
+
+
 @dataclass
 class ChaosResult:
     """Outcome of one :func:`run_chaos` run."""
@@ -41,6 +64,12 @@ class ChaosResult:
     rejoins: int = 0
     #: Simulated seconds the whole run (including settling) took.
     duration: float = 0.0
+    #: Nodes rolled back through disaster restore (0: no disaster).
+    restored: int = 0
+    #: Completed coordinated checkpoint rounds + CIC fences (0: off).
+    checkpoint_rounds: int = 0
+    #: Cluster-wide peak live NvmLog length observed at the end.
+    peak_log_length: int = 0
 
     @property
     def ok(self) -> bool:
@@ -55,6 +84,9 @@ class ChaosResult:
             "detections": self.detections,
             "rejoins": self.rejoins,
             "duration_s": self.duration,
+            "restored": self.restored,
+            "checkpoint_rounds": self.checkpoint_rounds,
+            "peak_log_length": self.peak_log_length,
             "faults": self.fault_counters.to_dict(),
             "metrics": self.metrics.to_dict(),
         }
@@ -66,7 +98,9 @@ def run_chaos(cluster, plan, workload, clients_per_node: int = 2,
               detect_timeout: float = us(100),
               slice_s: float = us(2_000),
               max_time: float = us(500_000),
-              settle_s: float = us(5_000)) -> ChaosResult:
+              settle_s: float = us(5_000),
+              checkpoints=None,
+              disaster: Optional[DisasterSpec] = None) -> ChaosResult:
     """Run *workload* on *cluster* under *plan* and check invariants.
 
     Clients are placed on every node not named in a crash window unless
@@ -75,16 +109,37 @@ def run_chaos(cluster, plan, workload, clients_per_node: int = 2,
     settles for *settle_s* past the last scheduled restart so rejoin
     catch-up, blind VAL re-broadcasts, and retransmit give-ups all drain
     before the invariant checks run.
+
+    *checkpoints* (a :class:`~repro.ckpt.CheckpointConfig`) enables
+    coordinated checkpointing / CIC log truncation for the run.
+    *disaster* (a :class:`DisasterSpec`) additionally crashes a block of
+    nodes mid-run and rolls them back through
+    :meth:`~repro.core.recovery.RecoveryManager.restore_cluster` while
+    the surviving clients stay under load.
     """
     from repro.core.recovery import RecoveryManager
     from repro.verify.runtime import RuntimeMonitor
 
     sim = cluster.sim
+    ckpt_manager = None
+    if checkpoints is not None:
+        ckpt_manager = cluster.enable_checkpoints(checkpoints)
     manager = RecoveryManager(cluster, heartbeat_interval=heartbeat_interval,
                               timeout=detect_timeout)
     injector = cluster.enable_faults(plan, manager)
 
+    disaster_victims: List[int] = []
+    if disaster is not None:
+        if disaster.victims >= len(cluster.nodes):
+            raise ConfigError("a chaos disaster needs at least one "
+                              "surviving node to keep clients under load "
+                              "(whole-cluster crashes are run_check's "
+                              "territory)")
+        disaster_victims = list(range(len(cluster.nodes) - disaster.victims,
+                                      len(cluster.nodes)))
+
     crash_nodes = {window.node for window in plan.crashes}
+    crash_nodes.update(disaster_victims)
     if nodes is None:
         nodes = [node.node_id for node in cluster.nodes
                  if node.node_id not in crash_nodes]
@@ -103,6 +158,19 @@ def run_chaos(cluster, plan, workload, clients_per_node: int = 2,
     drivers = [sim.spawn(client.run(), name=f"chaos.client.{i}")
                for i, client in enumerate(clients)]
 
+    restored_nodes: List[int] = []
+
+    def disaster_driver():
+        yield sim.timeout(disaster.at - sim.now)
+        for vid in disaster_victims:
+            cluster.crash(vid)
+        yield sim.timeout(disaster.down_for)
+        rolled = yield from manager.restore_cluster(disaster_victims)
+        restored_nodes.extend(rolled)
+
+    if disaster is not None:
+        sim.spawn(disaster_driver(), name="chaos.disaster")
+
     while (not all(d.triggered for d in drivers)) and sim.now < max_time:
         sim.run(until=min(max_time, sim.now + slice_s))
     completed = all(d.triggered for d in drivers)
@@ -111,6 +179,8 @@ def run_chaos(cluster, plan, workload, clients_per_node: int = 2,
         default=sim.now)
 
     restarts = [w.restore_at for w in plan.crashes if w.restore_at is not None]
+    if disaster is not None:
+        restarts.append(disaster.at + disaster.down_for)
     sim.run(until=max([sim.now] + restarts) + settle_s)
 
     monitor = RuntimeMonitor(cluster)
@@ -127,8 +197,16 @@ def run_chaos(cluster, plan, workload, clients_per_node: int = 2,
     except VerificationError as exc:
         violations.append(str(exc))
 
+    checkpoint_rounds = 0
+    if ckpt_manager is not None:
+        checkpoint_rounds = (ckpt_manager.rounds_completed
+                             + ckpt_manager.cic_checkpoints)
     return ChaosResult(completed=completed, checks=checks,
                        violations=violations, metrics=cluster.metrics,
                        fault_counters=injector.counters,
                        detections=manager.detections,
-                       rejoins=manager.rejoins, duration=sim.now)
+                       rejoins=manager.rejoins, duration=sim.now,
+                       restored=len(restored_nodes),
+                       checkpoint_rounds=checkpoint_rounds,
+                       peak_log_length=max(node.kv.log.peak_length
+                                           for node in cluster.nodes))

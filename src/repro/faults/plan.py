@@ -17,7 +17,7 @@ backoff, and bounded blind VAL re-broadcasts (see
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from repro.errors import ConfigError
 from repro.hw.params import us
@@ -200,3 +200,42 @@ class FaultPlan:
 def crash_schedule(plan: FaultPlan) -> List[CrashWindow]:
     """The plan's crash windows sorted by crash time."""
     return sorted(plan.crashes, key=lambda w: (w.at, w.node))
+
+
+def cascading_crashes(nodes: Iterable[int], at: float, stagger: float,
+                      down_for: Optional[float] = None
+                      ) -> Tuple[CrashWindow, ...]:
+    """A cascading-failure schedule: each node in *nodes* crashes
+    ``stagger`` after the previous one (starting at *at*), staying down
+    for *down_for* (``None``: for good).  The staggering is the point —
+    every later crash lands while the cluster is still re-stabilising
+    from the previous one."""
+    if stagger <= 0:
+        raise ConfigError("cascade stagger must be positive")
+    windows = []
+    for index, node in enumerate(nodes):
+        crash_at = at + index * stagger
+        windows.append(CrashWindow(
+            node=node, at=crash_at,
+            restore_at=None if down_for is None else crash_at + down_for))
+    return tuple(windows)
+
+
+def flapping_partition(group_a: Iterable[int], group_b: Iterable[int],
+                       start: float, period: float, flaps: int,
+                       duty: float = 0.5) -> Tuple[Partition, ...]:
+    """A link cut that heals and re-opens *flaps* times: each *period*
+    the cut holds for ``duty * period`` then heals for the rest.  The
+    nastiest pattern for retransmit logic — timers keep firing into a
+    fabric that works just often enough to half-deliver."""
+    if period <= 0:
+        raise ConfigError("flap period must be positive")
+    if not 0.0 < duty < 1.0:
+        raise ConfigError("flap duty cycle must be in (0, 1)")
+    if flaps < 1:
+        raise ConfigError("need at least one flap")
+    return tuple(Partition(start=start + i * period,
+                           end=start + i * period + duty * period,
+                           group_a=frozenset(group_a),
+                           group_b=frozenset(group_b))
+                 for i in range(flaps))

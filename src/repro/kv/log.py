@@ -56,6 +56,12 @@ class NvmLog:
         self.appends = 0
         self.obsolete_skipped = 0
         self.checkpoints_taken = 0
+        #: Total entries removed by checkpoint truncation.
+        self.truncated_total = 0
+        #: High-watermark of the live entry list — the boundedness
+        #: evidence for the unbounded-log fix (checkpointing keeps this
+        #: flat on long runs; without it, it tracks ``appends``).
+        self.peak_length = 0
 
     # -- appending ---------------------------------------------------------
 
@@ -66,6 +72,8 @@ class NvmLog:
                          serial=next(self._serial))
         self._entries.append(entry)
         self.appends += 1
+        if len(self._entries) > self.peak_length:
+            self.peak_length = len(self._entries)
         return entry
 
     # -- applying (log -> durable database) ------------------------------------
@@ -86,6 +94,7 @@ class NvmLog:
         self._entries.clear()
         self._applied_upto = 0
         self.checkpoints_taken += 1
+        self.truncated_total += truncated
         return truncated
 
     @property
@@ -142,6 +151,19 @@ class NvmLog:
         image = [e for e in self._checkpoint.values() if e.serial > serial]
         image.sort(key=lambda e: e.serial)
         return image + tail
+
+    def durable_snapshot(self) -> Dict[Any, LogEntry]:
+        """Per-key newest *surviving* entry, reconstructed the way a
+        crash restart would: checkpoint image plus the live tail.
+        Deliberately NOT the applied-database cache — a corrupted
+        checkpoint image must be visible here so the rollback checker
+        can catch it."""
+        snapshot: Dict[Any, LogEntry] = {}
+        for entry in self.entries_since(-1):
+            current = snapshot.get(entry.key)
+            if current is None or current.ts < entry.ts:
+                snapshot[entry.key] = entry
+        return snapshot
 
     def ingest(self, entries: Iterator[LogEntry]) -> int:
         """Apply a catch-up payload from another node's log.  Entries are

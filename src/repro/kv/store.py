@@ -40,6 +40,10 @@ class MinosKV:
         self.table = HashTable(initial_capacity=initial_capacity)
         self.metadata = MetadataTable(sim)
         self.log = NvmLog()
+        #: The pre-populated image (durable by construction: the
+        #: database load happens before the protocol starts), so a
+        #: crash-wipe of the volatile image can re-seed it.
+        self._initial: dict = {}
 
     # -- metadata -----------------------------------------------------------
 
@@ -52,6 +56,7 @@ class MinosKV:
         """Install an initial record (database pre-population) with the
         initial timestamp, bypassing the protocol."""
         self.table.put(key, VersionedValue(value, INITIAL_TS))
+        self._initial[key] = value
         self.meta(key)  # materialize metadata
 
     def volatile_read(self, key: Any) -> Optional[VersionedValue]:
@@ -76,6 +81,19 @@ class MinosKV:
     def lookup_probes(self, key: Any) -> int:
         """Probe count a lookup costs now (for the timing model)."""
         return self.table.probes_for(key)
+
+    def reset_volatile(self) -> None:
+        """Crash semantics: the volatile image (LLC-resident data) and
+        the protocol metadata are lost; the :class:`NvmLog` survives,
+        as does the pre-populated image (loaded before the protocol
+        started, so durable by construction).  Rollback recovery calls
+        this before replaying the surviving durable state into the
+        fresh volatile image."""
+        self.table = HashTable()
+        self.metadata = MetadataTable(self.sim)
+        for key, value in self._initial.items():
+            self.table.put(key, VersionedValue(value, INITIAL_TS))
+            self.meta(key)
 
     # -- durable data plane ---------------------------------------------------------
 

@@ -87,7 +87,10 @@ class TestDispatchTables:
         net = graph["arches"]["baseline"]["channels"]["net"]
         assert "BATCHED_ACK" in net["rejected"]
         assert "BATCHED_ACK" not in net["accepted"]
-        assert len(net["accepted"]) == 8
+        # 8 protocol types + the CKPT/CKPT_ACK checkpoint barrier.
+        assert len(net["accepted"]) == 10
+        assert "CKPT" in net["accepted"]
+        assert "CKPT_ACK" in net["accepted"]
 
     def test_offload_pcie_host_to_snic_accepts_inv_and_persist_only(
             self, graph):
@@ -100,7 +103,7 @@ class TestDispatchTables:
         table = (graph["arches"]["offload"]["channels"]
                  ["pcie_snic_to_host"])
         assert table["tolerant"]
-        assert len(table["accepted"]) == 9
+        assert len(table["accepted"]) == 11
 
 
 class TestSendPrecision:
@@ -143,7 +146,8 @@ class TestSendPrecision:
         resolved = set()
         for send in sends:
             resolved.update(send["types"]["resolved"])
-        assert resolved == {"INV", "PERSIST", "VAL", "VAL_C", "VAL_P"}
+        assert resolved == {"INV", "PERSIST", "VAL", "VAL_C", "VAL_P",
+                            "CKPT"}
 
 
 class TestAutomata:

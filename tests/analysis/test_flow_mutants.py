@@ -66,8 +66,8 @@ class TestUnhandledMessage:
         mutate(scratch, BASELINE_ENGINE,
                "        elif msg.type.is_val:\n"
                "            yield from self._follower_val(msg)\n"
-               "        else:",
-               "        else:")
+               "        elif msg.type is MsgType.CKPT:",
+               "        elif msg.type is MsgType.CKPT:")
         result = lint(scratch, ["flow-unhandled-message"])
         hits = findings_for(result, "flow-unhandled-message")
         assert hits, "VAL family now rejected by the net loop: must fire"

@@ -1,0 +1,59 @@
+"""The unbounded-log fix, end to end (regression).
+
+Before checkpointing, ``NvmLog`` grew without bound: nothing ever
+truncated it, so a long chaos soak left every node holding its entire
+write history in "NVM".  The CIC watermark is the fix — once the live
+log crosses it, a local fence folds the prefix into the checkpoint
+image and truncates.  This regression pins the bound: a chaos soak
+with a watermark keeps every node's *peak* log length within a small
+slack of the watermark, while the identical soak without checkpoints
+blows straight past it.
+"""
+
+from repro import LIN_SYNCH, MINOS_B, MINOS_O, MinosCluster
+from repro.ckpt import CheckpointConfig
+from repro.faults import FaultPlan, run_chaos
+from repro.hw.params import DEFAULT_MACHINE
+from repro.workloads.ycsb import YcsbWorkload
+
+WATERMARK = 8
+#: A fence runs after the append that crosses the watermark, so a
+#: burst of in-flight appends can overshoot by the amount the fabric
+#: can land between the crossing and the fence.
+SLACK = 4
+
+
+def soak(config, checkpoints=None):
+    cluster = MinosCluster(model=LIN_SYNCH, config=config,
+                           params=DEFAULT_MACHINE.with_nodes(3))
+    plan = FaultPlan.lossy(seed=23, drop=0.005, delay=0.05)
+    workload = YcsbWorkload(records=10, requests_per_client=40,
+                            write_fraction=0.9, seed=23)
+    result = run_chaos(cluster, plan, workload, clients_per_node=1,
+                       checkpoints=checkpoints)
+    assert result.completed
+    assert result.violations == [], result.violations
+    return result, cluster
+
+
+class TestBoundedLog:
+    def test_watermark_bounds_peak_log_length_on_chaos_soak(self):
+        for config in (MINOS_B, MINOS_O):
+            result, cluster = soak(
+                config, CheckpointConfig(watermark=WATERMARK))
+            assert result.peak_log_length <= WATERMARK + SLACK, (
+                f"{config.name}: peak live log "
+                f"{result.peak_log_length} ran past the "
+                f"{WATERMARK}-entry watermark")
+            for node in cluster.nodes:
+                assert node.kv.log.peak_length <= WATERMARK + SLACK
+
+    def test_no_checkpoints_is_unbounded(self):
+        """Control with teeth: the same soak without checkpointing
+        accumulates far more than the watermark on every node — the
+        bound above is the fix, not a property of the workload."""
+        result, cluster = soak(MINOS_B)
+        assert result.peak_log_length > WATERMARK + SLACK
+        for node in cluster.nodes:
+            assert node.kv.log.truncated_total == 0
+            assert len(node.kv.log) == node.kv.log.peak_length

@@ -1,0 +1,193 @@
+"""Coordinated checkpoint rounds and CIC truncation (repro.ckpt).
+
+Covers the manager's two mechanisms over both architectures: barrier
+rounds (CKPT/CKPT_ACK over the protocol fabric, all-node fences,
+complete :class:`CheckpointLine` records) and communication-induced
+checkpoints driven by the log-size watermark — plus the configuration
+guard rails and the observability counters the unbounded-log fix
+promised (``log_truncated_entries`` / ``log_peak_length``).
+"""
+
+import pytest
+
+from repro import LIN_SCOPE, LIN_SYNCH, MINOS_B, MINOS_O, MinosCluster
+from repro.ckpt import CheckpointConfig, CheckpointManager
+from repro.errors import ConfigError
+from repro.hw.params import DEFAULT_MACHINE, us
+from repro.workloads.ycsb import YcsbWorkload
+
+ARCHES = [MINOS_B, MINOS_O]
+
+
+def make_cluster(config, model=LIN_SYNCH, nodes=3):
+    return MinosCluster(model=model, config=config,
+                        params=DEFAULT_MACHINE.with_nodes(nodes))
+
+
+def run_small_workload(cluster, requests=12, seed=3):
+    workload = YcsbWorkload(records=10, requests_per_client=requests,
+                            write_fraction=0.8, seed=seed)
+    return cluster.run_workload(workload, clients_per_node=1)
+
+
+class TestConfig:
+    def test_rejects_nonpositive_interval(self):
+        with pytest.raises(ConfigError):
+            CheckpointConfig(interval=0)
+        with pytest.raises(ConfigError):
+            CheckpointConfig(interval=-1.0)
+
+    def test_rejects_negative_watermark(self):
+        with pytest.raises(ConfigError):
+            CheckpointConfig(watermark=-1)
+
+    def test_enable_rejects_double_install(self):
+        cluster = make_cluster(MINOS_B)
+        cluster.enable_checkpoints(CheckpointConfig())
+        with pytest.raises(ConfigError):
+            cluster.enable_checkpoints(CheckpointConfig())
+
+    def test_enable_rejects_out_of_range_coordinator(self):
+        cluster = make_cluster(MINOS_B)
+        with pytest.raises(ConfigError):
+            cluster.enable_checkpoints(CheckpointConfig(coordinator=7))
+
+    def test_enable_attaches_manager_to_every_engine(self):
+        cluster = make_cluster(MINOS_B)
+        manager = cluster.enable_checkpoints(CheckpointConfig())
+        assert isinstance(manager, CheckpointManager)
+        assert cluster.checkpoints is manager
+        assert all(node.engine.ckpt is manager for node in cluster.nodes)
+
+
+class TestCoordinatedRounds:
+    @pytest.mark.parametrize("config", ARCHES, ids=lambda c: c.name)
+    def test_on_demand_round_fences_every_node(self, config):
+        cluster = make_cluster(config)
+        manager = cluster.enable_checkpoints(CheckpointConfig())
+        run_small_workload(cluster)
+        live_before = {node.node_id: len(node.kv.log)
+                       for node in cluster.nodes}
+        assert any(live_before.values()), "workload persisted nothing"
+        cluster.sim.run_process(manager.checkpoint_now(),
+                                name="test.ckpt.round")
+        assert manager.rounds_started == 1
+        assert manager.rounds_completed == 1
+        line = manager.lines[-1]
+        assert line.complete
+        assert sorted(line.serials) == [n.node_id for n in cluster.nodes]
+        assert line.acked == [n.node_id for n in cluster.nodes
+                              if n.node_id != manager.config.coordinator]
+        # The fence truncated every node's live log into the image.
+        for node in cluster.nodes:
+            assert len(node.kv.log) == 0
+            assert node.kv.log.truncated_total >= live_before[node.node_id]
+
+    @pytest.mark.parametrize("config", ARCHES, ids=lambda c: c.name)
+    def test_checkpoint_preserves_durable_state(self, config):
+        cluster = make_cluster(config)
+        manager = cluster.enable_checkpoints(CheckpointConfig())
+        run_small_workload(cluster)
+        before = {node.node_id: {k: (e.ts, e.value) for k, e in
+                                 node.kv.log.durable_snapshot().items()}
+                  for node in cluster.nodes}
+        cluster.sim.run_process(manager.checkpoint_now(),
+                                name="test.ckpt.round")
+        after = {node.node_id: {k: (e.ts, e.value) for k, e in
+                                node.kv.log.durable_snapshot().items()}
+                 for node in cluster.nodes}
+        assert after == before, \
+            "truncation must be invisible to the surviving durable state"
+
+    @pytest.mark.parametrize("config", ARCHES, ids=lambda c: c.name)
+    def test_periodic_driver_runs_rounds_under_load(self, config):
+        cluster = make_cluster(config)
+        manager = cluster.enable_checkpoints(
+            CheckpointConfig(interval=us(150)))
+        cluster.load_records([(f"k{i}", "v0") for i in range(6)])
+        sim = cluster.sim
+
+        def writer(node_id):
+            for i in range(12):
+                yield from cluster.nodes[node_id].engine.client_write(
+                    f"k{i % 6}", f"n{node_id}i{i}")
+
+        drivers = [sim.spawn(writer(n), name=f"w{n}") for n in (0, 1)]
+        # The periodic driver never terminates: sliced advance.
+        while not all(d.triggered for d in drivers) and sim.now < us(50_000):
+            sim.run(until=sim.now + us(1_000))
+        sim.run(until=sim.now + us(2_000))
+        assert all(d.triggered for d in drivers)
+        assert manager.rounds_completed >= 2
+        assert all(line.complete for line in manager.lines
+                   if line.round_id < manager.lines[-1].round_id)
+
+    def test_round_skipped_while_coordinator_down(self):
+        cluster = make_cluster(MINOS_B)
+        manager = cluster.enable_checkpoints(CheckpointConfig())
+        run_small_workload(cluster)
+        cluster.crash(manager.config.coordinator)
+        cluster.sim.run_process(manager.checkpoint_now(),
+                                name="test.ckpt.skip")
+        assert manager.rounds_started == 0
+        assert manager.lines == []
+
+
+class TestCic:
+    @pytest.mark.parametrize("config", ARCHES, ids=lambda c: c.name)
+    def test_watermark_triggers_local_truncation(self, config):
+        cluster = make_cluster(config)
+        manager = cluster.enable_checkpoints(CheckpointConfig(watermark=5))
+        run_small_workload(cluster, requests=20)
+        assert manager.cic_checkpoints > 0
+        assert manager.rounds_started == 0, "CIC must not send messages"
+        for node in cluster.nodes:
+            if node.kv.log.truncated_total:
+                assert node.kv.log.peak_length <= 5 + 2, \
+                    "CIC let the live log run far past the watermark"
+
+    def test_watermark_zero_never_fences(self):
+        cluster = make_cluster(MINOS_B)
+        manager = cluster.enable_checkpoints(CheckpointConfig(watermark=0))
+        run_small_workload(cluster)
+        assert manager.cic_checkpoints == 0
+        assert all(node.kv.log.checkpoints_taken == 0
+                   for node in cluster.nodes)
+
+
+class TestScopeQuiesce:
+    @pytest.mark.parametrize("config", ARCHES, ids=lambda c: c.name)
+    def test_scope_model_rounds_complete(self, config):
+        """Under <Lin, Scope> the fence must drain open scope
+        dependencies first; the round still completes and truncates."""
+        cluster = make_cluster(config, model=LIN_SCOPE)
+        manager = cluster.enable_checkpoints(CheckpointConfig())
+        workload = YcsbWorkload(records=10, requests_per_client=10,
+                                write_fraction=0.8, seed=5,
+                                persist_every=3)
+        cluster.run_workload(workload, clients_per_node=1)
+        cluster.sim.run_process(manager.checkpoint_now(),
+                                name="test.ckpt.scope")
+        assert manager.rounds_completed == 1
+        assert all(len(node.kv.log) == 0 for node in cluster.nodes)
+
+
+class TestObservability:
+    def test_fences_emit_truncation_counters_and_gauges(self):
+        cluster = make_cluster(MINOS_B)
+        manager = cluster.enable_checkpoints(CheckpointConfig(watermark=4))
+        obs = cluster.attach_obs()
+        run_small_workload(cluster, requests=16)
+        cluster.sim.run_process(manager.checkpoint_now(),
+                                name="test.ckpt.obs")
+        truncated = {node: reg.counter("log_truncated_entries")
+                     for node, reg in obs.registries().items()}
+        assert any(truncated.values()), \
+            "no node reported log_truncated_entries"
+        total = sum(node.kv.log.truncated_total for node in cluster.nodes)
+        assert sum(truncated.values()) == total
+        for node, registry in obs.registries().items():
+            if truncated[node]:
+                assert registry.gauge_samples("log_peak_length")
+                assert registry.gauge_samples("log_length")
+        assert obs.instants_for("checkpoint")

@@ -1,0 +1,100 @@
+"""Seeded checkpoint bugs the rollback rules must catch (mutant gate).
+
+Same philosophy as ``tests/check/test_runner.py`` and
+``tests/analysis/test_flow_mutants.py``: the checker is only trusted
+because deliberately planted bugs fail it.  Two mutants from the PR's
+acceptance list:
+
+* a checkpoint fence that silently *drops an acked Synch write* from
+  the image while still truncating the log — the write is gone from
+  every surviving replica, so a whole-cluster rollback must trip the
+  ``rollback-floor`` rule;
+* a truncation that races a pending ``[PERSIST]sc`` — scoped entries
+  are fenced out of the image, so a completed scope persist loses its
+  writes and the Scope closure floor must catch it.
+
+Both must produce a shrunk counterexample of at most 10 events.
+"""
+
+from repro import MINOS_B, run_check
+from repro.ckpt import CheckpointConfig
+from repro.hw.params import us
+
+
+def plant_synch_dropping_checkpoint(cluster):
+    """Every fence truncates normally but evicts key ``k1`` from the
+    checkpoint image: an acked Synch write whose only durable copy was
+    the image is silently lost."""
+    for node in cluster.nodes:
+        log = node.kv.log
+        real_checkpoint = log.checkpoint
+
+        def corrupt(log=log, real=real_checkpoint):
+            truncated = real()
+            log._checkpoint.pop("k1", None)
+            return truncated
+
+        log.checkpoint = corrupt
+
+
+def plant_scope_racing_checkpoint(cluster):
+    """Every fence truncates as if the pending ``[PERSIST]sc`` did not
+    exist: scoped entries are fenced out of the image, so a scope the
+    client was promised durable does not survive the rollback."""
+    for node in cluster.nodes:
+        log = node.kv.log
+        real_checkpoint = log.checkpoint
+
+        def corrupt(log=log, real=real_checkpoint):
+            truncated = real()
+            for key, entry in list(log._checkpoint.items()):
+                if entry.scope is not None:
+                    del log._checkpoint[key]
+            return truncated
+
+        log.checkpoint = corrupt
+
+
+CHECK = dict(config=MINOS_B, nodes=3, ops_per_client=10, seeds=2,
+             crash_trials=2, victims=3, max_time=us(60_000),
+             checkpoints=CheckpointConfig(watermark=4))
+
+
+class TestCheckpointMutants:
+    def test_synch_acked_write_dropped_by_fence_is_caught(self):
+        report = run_check(model="synch",
+                           setup=plant_synch_dropping_checkpoint, **CHECK)
+        assert not report.ok, \
+            "a checkpoint that loses an acked Synch write went unnoticed"
+        counterexample = report.counterexample
+        assert counterexample is not None
+        assert counterexample.kind == "durability"
+        assert "rollback-floor" in counterexample.detail
+        assert counterexample.key == "k1"
+        # Acceptance criterion: the shrunk counterexample is tiny.
+        assert 1 <= len(counterexample.events) <= 10
+        # The evidence is the acked write the rollback lost.
+        assert any(e["kind"] == "write" for e in counterexample.events)
+
+    def test_truncation_racing_persist_sc_is_caught(self):
+        report = run_check(model="scope",
+                           setup=plant_scope_racing_checkpoint, **CHECK)
+        assert not report.ok, \
+            "a truncation racing [PERSIST]sc went unnoticed"
+        counterexample = report.counterexample
+        assert counterexample is not None
+        assert counterexample.kind == "durability"
+        assert "rollback-floor" in counterexample.detail
+        assert 1 <= len(counterexample.events) <= 10
+        # The Scope floor's evidence pairs the lost write with the
+        # [PERSIST]sc that promised it durable.
+        kinds = {e["kind"] for e in counterexample.events}
+        assert "persist" in kinds
+
+    def test_clean_checkpoints_pass_the_same_gate(self):
+        """Control: the identical exploration with honest fences is
+        green — the mutants above fail because of the planted bug, not
+        because the gate is trigger-happy."""
+        report = run_check(model="synch", **CHECK)
+        assert report.ok, (report.counterexample.detail
+                           if report.counterexample else report.to_dict())
